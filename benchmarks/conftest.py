@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Each bench module regenerates one paper artifact (a Figure 4 panel, a
+table, a simulation figure), writes the rendered comparison to
+``benchmarks/results/<artifact>.txt`` and asserts only the paper's robust
+*shape* claims (who wins), never absolute numbers.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cases import clear_cache
+
+
+def pytest_sessionstart(session):
+    clear_cache()
+
+
+@pytest.fixture(scope="session")
+def pedantic_kwargs():
+    """Low-round pedantic settings: graphs are deterministic, timings are
+    dominated by graph size rather than noise."""
+    return {"rounds": 3, "warmup_rounds": 1, "iterations": 1}

@@ -1,0 +1,87 @@
+"""repro — a from-scratch Python reproduction of GraphMat (VLDB 2015).
+
+GraphMat maps vertex programs onto a generalized sparse matrix-vector
+multiplication backend.  This package rebuilds the whole system: the DCSC
+sparse-matrix substrate, bitvector sparse vectors, the generalized-SpMV
+engine with the paper's optimization ladder, the five evaluation
+algorithms, the comparison frameworks (GraphLab-like, CombBLAS-like,
+Galois-like, native), the performance-counter and multicore simulations,
+and a benchmark harness regenerating every table and figure of the
+paper's evaluation.  See DESIGN.md for the full inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import rmat_graph, run_pagerank
+    graph = rmat_graph(scale=12, edge_factor=16)
+    result = run_pagerank(graph, max_iterations=20)
+    print(result.ranks[:10])
+"""
+
+from repro.algorithms import (
+    run_bfs,
+    run_collaborative_filtering,
+    run_connected_components,
+    run_pagerank,
+    run_sssp,
+    run_triangle_count,
+)
+from repro.core import (
+    DEFAULT_OPTIONS,
+    EdgeDirection,
+    EngineOptions,
+    GraphProgram,
+    RunStats,
+    SemiringProgram,
+    run_graph_program,
+)
+from repro.errors import ReproError
+from repro.graph import (
+    Graph,
+    build_graph,
+    load_dataset,
+    read_edge_list,
+    read_mtx,
+    symmetrize,
+    to_dag,
+    write_mtx,
+)
+from repro.graph.generators import (
+    bipartite_rating_graph,
+    rmat_graph,
+    road_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # core engine
+    "GraphProgram",
+    "SemiringProgram",
+    "EdgeDirection",
+    "EngineOptions",
+    "DEFAULT_OPTIONS",
+    "RunStats",
+    "run_graph_program",
+    # graph substrate
+    "Graph",
+    "build_graph",
+    "read_mtx",
+    "write_mtx",
+    "read_edge_list",
+    "symmetrize",
+    "to_dag",
+    "load_dataset",
+    "rmat_graph",
+    "road_graph",
+    "bipartite_rating_graph",
+    # algorithms
+    "run_pagerank",
+    "run_bfs",
+    "run_sssp",
+    "run_triangle_count",
+    "run_collaborative_filtering",
+    "run_connected_components",
+]

@@ -1,0 +1,66 @@
+"""The paper's five algorithms (plus extensions) as GraphMat programs."""
+
+from repro.algorithms.bfs import BFSProgram, BFSResult, init_bfs, run_bfs
+from repro.algorithms.collaborative_filtering import (
+    CFGradientProgram,
+    CFResult,
+    init_cf,
+    run_collaborative_filtering,
+    train_rmse,
+)
+from repro.algorithms.connected_components import (
+    ComponentsResult,
+    MinLabelProgram,
+    run_connected_components,
+)
+from repro.algorithms.degree import in_degrees_via_spmv, out_degrees_via_spmv
+from repro.algorithms.label_propagation import (
+    LabelPropagationResult,
+    NearestSeedProgram,
+    run_label_propagation,
+)
+from repro.algorithms.pagerank import (
+    PageRankProgram,
+    PageRankResult,
+    init_pagerank,
+    run_pagerank,
+)
+from repro.algorithms.sssp import SSSPProgram, SSSPResult, init_sssp, run_sssp
+from repro.algorithms.triangle_count import (
+    CountTrianglesProgram,
+    NeighborGatherProgram,
+    TriangleCountResult,
+    run_triangle_count,
+)
+
+__all__ = [
+    "PageRankProgram",
+    "PageRankResult",
+    "init_pagerank",
+    "run_pagerank",
+    "BFSProgram",
+    "BFSResult",
+    "init_bfs",
+    "run_bfs",
+    "SSSPProgram",
+    "SSSPResult",
+    "init_sssp",
+    "run_sssp",
+    "NeighborGatherProgram",
+    "CountTrianglesProgram",
+    "TriangleCountResult",
+    "run_triangle_count",
+    "CFGradientProgram",
+    "CFResult",
+    "init_cf",
+    "run_collaborative_filtering",
+    "train_rmse",
+    "MinLabelProgram",
+    "NearestSeedProgram",
+    "LabelPropagationResult",
+    "run_label_propagation",
+    "ComponentsResult",
+    "run_connected_components",
+    "in_degrees_via_spmv",
+    "out_degrees_via_spmv",
+]

@@ -1,0 +1,344 @@
+"""Triangle counting as two GraphMat vertex programs (paper section 4.2).
+
+The paper: "Triangle Counting in GraphMat works as two vertex programs.
+The first creates an adjacency list of the graph (this is a simple vertex
+program where each vertex sends out its id, and at the end stores a list
+of all its incoming neighbor id's in its local state).  In the second
+program, each vertex simply sends out this list to all neighbors, and each
+vertex intersects each incoming list with its own list to find triangles."
+
+Input contract: a directed acyclic orientation of the undirected graph —
+edges point from the smaller to the larger vertex id
+(:func:`repro.graph.preprocess.to_dag` builds it per section 5.1).  Every
+triangle ``u < v < w`` then appears exactly once: when ``v`` sends its
+in-neighbor list ``L(v)`` (which contains ``u``) along the edge ``(v, w)``
+and ``w`` intersects it with ``L(w)`` (which also contains ``u``).
+
+This algorithm is the showcase for GraphMat's destination-vertex access:
+``process_message`` intersects the *incoming* list with the *receiver's*
+list, which a pure semiring backend cannot express (CombBLAS needs a
+matrix-matrix multiply whose intermediates are huge — paper Figure 4(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import RunStats, run_graph_program
+from repro.core.graph_program import EdgeDirection, GraphProgram
+from repro.core.options import DEFAULT_OPTIONS, EngineOptions
+from repro.graph.graph import Graph
+from repro.vector.sparse_vector import INT64, OBJECT, ValueSpec
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class NeighborGatherProgram(GraphProgram):
+    """Phase 1: every vertex learns its sorted in-neighbor id list.
+
+    Initial property = own vertex id (an int); after one superstep each
+    message receiver holds a sorted ``int64`` array of in-neighbor ids.
+    Vertices without in-edges keep their int property; the driver
+    normalizes them to empty arrays before phase 2.
+    """
+
+    direction = EdgeDirection.OUT_EDGES
+    message_spec = INT64
+    result_spec = OBJECT
+    property_spec = OBJECT
+    reduce_ufunc = None
+
+    # -- scalar hooks ----------------------------------------------------
+    def send_message(self, vertex_prop):
+        return int(vertex_prop)
+
+    def process_message(self, message, edge_value, dst_prop):
+        return message
+
+    def reduce(self, a, b):
+        return np.concatenate([np.atleast_1d(a), np.atleast_1d(b)])
+
+    def apply(self, reduced, vertex_prop):
+        return np.sort(np.atleast_1d(np.asarray(reduced, dtype=np.int64)))
+
+    # -- batch hooks -------------------------------------------------------
+    def send_message_batch(self, props, vertices):
+        # Properties are ints stored in an object array.
+        return props.astype(np.int64)
+
+    def process_message_batch(self, messages, edge_values, dst_props):
+        return messages
+
+    def reduce_segments(self, sorted_results, group_starts, group_ends):
+        ids = np.asarray(sorted_results, dtype=np.int64)
+        out = np.empty(group_starts.shape[0], dtype=object)
+        for g in range(group_starts.shape[0]):
+            out[g] = ids[group_starts[g] : group_ends[g]]
+        return out
+
+    def apply_batch(self, reduced, props):
+        out = np.empty(reduced.shape[0], dtype=object)
+        for i in range(reduced.shape[0]):
+            out[i] = np.sort(
+                np.atleast_1d(np.asarray(reduced[i], dtype=np.int64))
+            )
+        return out
+
+    def properties_equal_batch(self, old, new):
+        # Phase 1 runs exactly one superstep; activity is irrelevant.
+        return np.ones(old.shape[0], dtype=bool)
+
+
+class CountTrianglesProgram(GraphProgram):
+    """Phase 2: send the neighbor list; receivers count intersections.
+
+    After one superstep each message receiver's property is its triangle
+    count (an int); silent vertices keep their neighbor-list property and
+    contribute zero.
+
+    The batch hook processes edges in fixed-size chunks with a tagged-merge
+    intersection: each (message list, receiver list) pair is flattened into
+    ``edge_id * n + vertex_id`` keys and matched with one ``searchsorted``
+    per chunk.  This is the same per-message dataflow as the scalar hook
+    (the engine hands over exactly the per-edge message/receiver pairs)
+    executed at kernel speed — the ``-ipo``-style fusion applied to the
+    paper's TC inner loop.  Peak memory stays O(chunk wedge size).
+    """
+
+    direction = EdgeDirection.OUT_EDGES
+    message_spec = OBJECT
+    result_spec = ValueSpec(np.dtype(np.int64))
+    property_spec = OBJECT
+    reduce_ufunc = np.add
+
+    def __init__(
+        self,
+        n_vertices: int,
+        chunk_edges: int = 65536,
+        packed_lists: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        self.n_vertices = int(n_vertices)
+        self.chunk_edges = int(chunk_edges)
+        # Optional packed (flat, indptr) view of the per-vertex neighbor
+        # lists, enabling the zero-materialization fused kernel.
+        self._packed = packed_lists
+        # Sorted membership keys "vertex*stride + neighbor" derived from
+        # the packed lists: "u in L(w)" becomes one vectorized binary
+        # search instead of a per-edge intersection.
+        self._member_keys: np.ndarray | None = None
+        if packed_lists is not None:
+            flat, indptr = packed_lists
+            owners = np.repeat(
+                np.arange(self.n_vertices, dtype=np.int64), np.diff(indptr)
+            )
+            self._member_keys = owners * np.int64(self.n_vertices) + flat
+
+    @staticmethod
+    def pack_neighbor_lists(props: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Flatten per-vertex neighbor-list properties into (flat, indptr)."""
+        n = props.shape[0]
+        lens = np.fromiter(
+            (np.size(props[v]) for v in range(n)), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        if indptr[-1]:
+            flat = np.concatenate(
+                [np.atleast_1d(np.asarray(p, dtype=np.int64)) for p in props]
+            )
+        else:
+            flat = np.zeros(0, dtype=np.int64)
+        return flat, indptr
+
+    def process_edges_packed(self, src_cols, edge_values, dst_rows, properties_data):
+        if self._packed is None or self._member_keys is None:
+            return None
+        flat, indptr = self._packed
+        member_keys = self._member_keys
+        n_edges = src_cols.shape[0]
+        counts = np.zeros(n_edges, dtype=np.int64)
+        stride = np.int64(self.n_vertices)
+        for lo in range(0, n_edges, self.chunk_edges):
+            hi = min(n_edges, lo + self.chunk_edges)
+            src = src_cols[lo:hi]
+            dst = dst_rows[lo:hi]
+            src_lens = indptr[src + 1] - indptr[src]
+            # Wedge ends: every u in L(src) for each edge (src, dst); the
+            # intersection test "u in L(dst)" is membership of the key
+            # dst*stride + u in the precomputed sorted key set.
+            wedge_u = _take_spans(flat, indptr[src], src_lens)
+            if wedge_u.shape[0] == 0:
+                continue
+            wedge_w = np.repeat(dst, src_lens)
+            query = wedge_w * stride + wedge_u
+            pos = np.searchsorted(member_keys, query)
+            pos[pos == member_keys.shape[0]] = member_keys.shape[0] - 1
+            hits = (member_keys[pos] == query).astype(np.float64)
+            local = np.arange(hi - lo, dtype=np.int64)
+            counts[lo:hi] = np.bincount(
+                np.repeat(local, src_lens), weights=hits, minlength=hi - lo
+            ).astype(np.int64)
+        return counts
+
+    # -- scalar hooks ----------------------------------------------------
+    def send_message(self, vertex_prop):
+        neighbor_list = np.atleast_1d(np.asarray(vertex_prop, dtype=np.int64))
+        if neighbor_list.size == 0:
+            return None
+        return neighbor_list
+
+    def process_message(self, message, edge_value, dst_prop):
+        own = np.atleast_1d(np.asarray(dst_prop, dtype=np.int64))
+        return _sorted_intersection_size(message, own)
+
+    def reduce(self, a, b):
+        return a + b
+
+    def apply(self, reduced, vertex_prop):
+        return int(reduced)
+
+    # -- batch hooks -------------------------------------------------------
+    def send_message_batch(self, props, vertices):
+        mask = np.fromiter(
+            (np.size(props[i]) > 0 for i in range(props.shape[0])),
+            dtype=bool,
+            count=props.shape[0],
+        )
+        return mask, props
+
+    def process_message_batch(self, messages, edge_values, dst_props):
+        n_edges = messages.shape[0]
+        counts = np.zeros(n_edges, dtype=np.int64)
+        stride = np.int64(self.n_vertices)
+        for lo in range(0, n_edges, self.chunk_edges):
+            hi = min(n_edges, lo + self.chunk_edges)
+            width = hi - lo
+            msg_lens = np.fromiter(
+                (np.size(messages[e]) for e in range(lo, hi)),
+                dtype=np.int64,
+                count=width,
+            )
+            own_lens = np.fromiter(
+                (np.size(dst_props[e]) for e in range(lo, hi)),
+                dtype=np.int64,
+                count=width,
+            )
+            if msg_lens.sum() == 0 or own_lens.sum() == 0:
+                continue
+            local_ids = np.arange(width, dtype=np.int64)
+            msg_cat = np.concatenate(
+                [np.atleast_1d(messages[e]) for e in range(lo, hi)]
+            ).astype(np.int64)
+            own_cat = np.concatenate(
+                [
+                    np.atleast_1d(np.asarray(dst_props[e], dtype=np.int64))
+                    for e in range(lo, hi)
+                ]
+            )
+            msg_keys = np.repeat(local_ids, msg_lens) * stride + msg_cat
+            own_keys = np.repeat(local_ids, own_lens) * stride + own_cat
+            # own_keys is globally sorted: receiver lists are sorted and
+            # edge ids increase monotonically across the concatenation.
+            pos = np.searchsorted(own_keys, msg_keys)
+            pos[pos == own_keys.shape[0]] = own_keys.shape[0] - 1
+            hits = (own_keys[pos] == msg_keys).astype(np.float64)
+            counts[lo:hi] += np.bincount(
+                np.repeat(local_ids, msg_lens), weights=hits, minlength=width
+            ).astype(np.int64)
+        return counts
+
+    def apply_batch(self, reduced, props):
+        out = np.empty(reduced.shape[0], dtype=object)
+        for i in range(reduced.shape[0]):
+            out[i] = int(reduced[i])
+        return out
+
+    def properties_equal_batch(self, old, new):
+        return np.ones(old.shape[0], dtype=bool)
+
+
+def _take_spans(
+    flat: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``flat[starts[i] : starts[i]+lengths[i]]`` for all i."""
+    total = int(lengths.sum())
+    if total == 0:
+        return flat[:0]
+    offsets = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    take = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, lengths)
+        + np.repeat(starts, lengths)
+    )
+    return flat[take]
+
+
+def _sorted_intersection_size(a: np.ndarray, b: np.ndarray) -> int:
+    """|a ∩ b| for sorted int arrays (galloping via searchsorted)."""
+    if a.size == 0 or b.size == 0:
+        return 0
+    if a.size > b.size:
+        a, b = b, a
+    positions = np.searchsorted(b, a)
+    positions[positions == b.size] = b.size - 1
+    return int(np.count_nonzero(b[positions] == a))
+
+
+@dataclass
+class TriangleCountResult:
+    """Total triangles, per-vertex counts and both phases' run records."""
+
+    total: int
+    per_vertex: np.ndarray
+    gather_stats: RunStats
+    count_stats: RunStats
+
+
+def run_triangle_count(
+    graph: Graph,
+    *,
+    options: EngineOptions = DEFAULT_OPTIONS,
+    counters=None,
+) -> TriangleCountResult:
+    """Count triangles of a DAG-oriented graph through the GraphMat engine.
+
+    ``graph`` must be the upper-triangle orientation produced by
+    :func:`repro.graph.preprocess.to_dag`; each triangle is counted once.
+    """
+    single_step = options.with_(max_iterations=1)
+
+    # Phase 1: gather in-neighbor lists.
+    gather = NeighborGatherProgram()
+    graph.init_properties(OBJECT)
+    for v in range(graph.n_vertices):
+        graph.vertex_properties.data[v] = v
+    graph.set_all_active()
+    gather_stats = run_graph_program(graph, gather, single_step, counters=counters)
+
+    # Normalize: vertices that received nothing hold their own id (int);
+    # give them empty lists for phase 2.
+    props = graph.vertex_properties.data
+    for v in range(graph.n_vertices):
+        if not isinstance(props[v], np.ndarray):
+            props[v] = _EMPTY
+
+    # Phase 2: intersect neighbor lists.
+    packed = CountTrianglesProgram.pack_neighbor_lists(props)
+    count = CountTrianglesProgram(graph.n_vertices, packed_lists=packed)
+    graph.set_all_active()
+    count_stats = run_graph_program(graph, count, single_step, counters=counters)
+
+    per_vertex = np.zeros(graph.n_vertices, dtype=np.int64)
+    for v in range(graph.n_vertices):
+        value = graph.vertex_properties.data[v]
+        if isinstance(value, (int, np.integer)):
+            per_vertex[v] = int(value)
+    return TriangleCountResult(
+        total=int(per_vertex.sum()),
+        per_vertex=per_vertex,
+        gather_stats=gather_stats,
+        count_stats=count_stats,
+    )

@@ -1,0 +1,34 @@
+"""Benchmark harness library used by the benchmarks/ pytest suite."""
+
+from repro.bench.cases import (
+    DEFAULT_PARAMS,
+    PER_ITERATION_ALGORITHMS,
+    PreparedCase,
+    clear_cache,
+    prepare_case,
+    run_params,
+)
+from repro.bench.harness import CellResult, GridResult, run_cell, run_grid
+from repro.bench.tables import (
+    RESULTS_DIR,
+    format_table,
+    grid_table,
+    write_result,
+)
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "PER_ITERATION_ALGORITHMS",
+    "PreparedCase",
+    "prepare_case",
+    "run_params",
+    "clear_cache",
+    "CellResult",
+    "GridResult",
+    "run_cell",
+    "run_grid",
+    "format_table",
+    "grid_table",
+    "write_result",
+    "RESULTS_DIR",
+]

@@ -1,0 +1,149 @@
+"""Grid runner: frameworks x datasets for one algorithm (one Figure 4 panel).
+
+Each cell warms the framework once on the prepared graph (building cached
+matrix views, exactly as the paper excludes graph loading from timings),
+then times a measured run.  A framework that raises
+:class:`~repro.errors.BenchmarkError` records a DNF — the paper's
+"CombBLAS fails to complete" entries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.cases import (
+    PER_ITERATION_ALGORITHMS,
+    PreparedCase,
+    prepare_case,
+    run_params,
+)
+from repro.errors import BenchmarkError
+from repro.frameworks.base import Framework, RunRecord
+from repro.frameworks.registry import make_framework
+
+
+@dataclass
+class CellResult:
+    """One framework on one dataset."""
+
+    framework: str
+    dataset: str
+    algorithm: str
+    seconds: float | None  # None = DNF
+    record: RunRecord | None
+    value: object = None
+    dnf_reason: str = ""
+
+    @property
+    def completed(self) -> bool:
+        return self.seconds is not None
+
+    def metric_seconds(self) -> float | None:
+        """The figure's y-value: total time, or time/iteration for PR/CF."""
+        if self.seconds is None:
+            return None
+        if (
+            self.algorithm in PER_ITERATION_ALGORITHMS
+            and self.record is not None
+            and self.record.iterations
+        ):
+            return self.seconds / self.record.iterations
+        return self.seconds
+
+
+@dataclass
+class GridResult:
+    """All cells of one algorithm's comparison grid."""
+
+    algorithm: str
+    datasets: list[str]
+    frameworks: list[str]
+    cells: dict[tuple[str, str], CellResult] = field(default_factory=dict)
+
+    def cell(self, framework: str, dataset: str) -> CellResult:
+        return self.cells[(framework, dataset)]
+
+    def speedup_over(
+        self, baseline: str, reference: str = "graphmat"
+    ) -> dict[str, float | None]:
+        """Per-dataset speedup of ``reference`` vs ``baseline``.
+
+        ``None`` marks a DNF baseline (infinite speedup, reported as such
+        in the tables); missing reference cells raise.
+        """
+        out: dict[str, float | None] = {}
+        for ds in self.datasets:
+            ref = self.cell(reference, ds).metric_seconds()
+            base_cell = self.cell(baseline, ds)
+            base = base_cell.metric_seconds()
+            if ref is None:
+                raise BenchmarkError(f"reference {reference} DNF on {ds}")
+            out[ds] = None if base is None else base / ref
+        return out
+
+    def geomean_speedup(self, baseline: str, reference: str = "graphmat") -> float:
+        """Geometric-mean speedup over completed datasets (Table 2 cells)."""
+        ratios = [
+            r for r in self.speedup_over(baseline, reference).values() if r
+        ]
+        if not ratios:
+            return float("nan")
+        product = 1.0
+        for r in ratios:
+            product *= r
+        return product ** (1.0 / len(ratios))
+
+
+def run_cell(
+    framework: Framework, case: PreparedCase, *, warmups: int = 1
+) -> CellResult:
+    """Time one framework on one prepared case (with warm-up runs)."""
+    args, kwargs = run_params(case)
+    try:
+        for _ in range(warmups):
+            framework.run(case.algorithm, case.graph, *args, **kwargs)
+        start = time.perf_counter()
+        value, record = framework.run(
+            case.algorithm, case.graph, *args, **kwargs
+        )
+        seconds = time.perf_counter() - start
+    except BenchmarkError as exc:
+        return CellResult(
+            framework=framework.name,
+            dataset=case.dataset,
+            algorithm=case.algorithm,
+            seconds=None,
+            record=None,
+            dnf_reason=str(exc),
+        )
+    return CellResult(
+        framework=framework.name,
+        dataset=case.dataset,
+        algorithm=case.algorithm,
+        seconds=seconds,
+        record=record,
+        value=value,
+    )
+
+
+def run_grid(
+    algorithm: str,
+    datasets: list[str],
+    framework_names: list[str],
+    params: dict | None = None,
+    *,
+    warmups: int = 1,
+) -> GridResult:
+    """Run the full frameworks x datasets grid for one algorithm."""
+    grid = GridResult(
+        algorithm=algorithm, datasets=list(datasets), frameworks=list(framework_names)
+    )
+    for name in framework_names:
+        framework = make_framework(name)
+        for dataset in datasets:
+            case = prepare_case(dataset, algorithm, params)
+            grid.cells[(name, dataset)] = run_cell(
+                framework, case, warmups=warmups
+            )
+    return grid

@@ -1,0 +1,76 @@
+"""The paper's reported numbers, for side-by-side comparison in benches.
+
+Transcribed from the GraphMat paper (tables 2-3, figure 5 text, figure 7
+text).  Benchmarks print these next to measured values so EXPERIMENTS.md
+can record paper-vs-measured for every artifact.
+"""
+
+from __future__ import annotations
+
+#: Table 2 — geometric-mean speedup of GraphMat over each framework.
+TABLE2_SPEEDUPS: dict[str, dict[str, float]] = {
+    "GraphLab": {
+        "pagerank": 7.5,
+        "bfs": 7.9,
+        "tc": 1.5,
+        "cf": 7.1,
+        "sssp": 10.6,
+        "overall": 5.8,
+    },
+    "CombBLAS": {
+        "pagerank": 4.1,
+        "bfs": 2.2,
+        "tc": 36.0,
+        "cf": 4.8,
+        "sssp": 10.2,
+        "overall": 6.9,
+    },
+    "Galois": {
+        "pagerank": 2.6,
+        "bfs": 1.0,
+        "tc": 0.8,
+        "cf": 1.5,
+        "sssp": 0.7,
+        "overall": 1.2,
+    },
+}
+
+#: Table 3 — slowdown of GraphMat vs native hand-optimized code.
+TABLE3_NATIVE_SLOWDOWN: dict[str, float] = {
+    "pagerank": 1.15,
+    "bfs": 1.18,
+    "tc": 2.10,
+    "cf": 0.73,
+    "overall": 1.20,
+}
+
+#: Figure 5 — speedup at 24 cores reported in section 5.2.3.
+FIG5_SPEEDUP_AT_24: dict[str, tuple[float, float]] = {
+    "GraphMat": (13.0, 15.0),
+    "GraphLab": (8.0, 8.0),
+    "CombBLAS": (2.0, 6.0),
+    "Galois": (6.0, 12.0),
+}
+
+#: Figure 7 — cumulative speedups quoted in section 5.4.
+FIG7_CUMULATIVE: dict[str, dict[str, float]] = {
+    "pagerank/facebook": {
+        "+ipo gain": 1.9,
+        "parallel scalability": 11.7,
+        "load balance gain": 1.2,
+        "overall": 27.3,
+    },
+    "sssp/flickr": {
+        "+ipo gain": 1.5,
+        "parallel scalability": 4.7,
+        "load balance gain": 2.8,
+        "overall": 19.9,
+    },
+}
+
+#: Figure 6 qualitative ordering (normalized to GraphMat = 1.0): both
+#: GraphLab and CombBLAS execute more instructions and stall more.
+FIG6_EXPECTATIONS = (
+    "GraphLab and CombBLAS >> GraphMat on instructions and stall cycles; "
+    "Galois within ~2x of GraphMat; IPC highest for the leanest engine"
+)

@@ -1,0 +1,76 @@
+"""Paper-style ASCII tables and result files for the benchmark harness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.harness import GridResult
+
+#: Where bench runs drop their rendered tables.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Fixed-width ASCII table (monospace, right-aligned data columns)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _format_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "DNF"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def grid_table(grid: GridResult, title: str) -> str:
+    """Render a Figure 4 panel: rows = frameworks, columns = datasets."""
+    headers = ["framework"] + grid.datasets
+    rows = []
+    for fw in grid.frameworks:
+        row = [fw]
+        for ds in grid.datasets:
+            row.append(_format_seconds(grid.cell(fw, ds).metric_seconds()))
+        rows.append(row)
+    speed_rows = []
+    for fw in grid.frameworks:
+        if fw == "graphmat":
+            continue
+        speedups = grid.speedup_over(fw)
+        speed_rows.append(
+            [f"GraphMat vs {fw}"]
+            + [
+                "DNF" if speedups[ds] is None else f"{speedups[ds]:.2f}x"
+                for ds in grid.datasets
+            ]
+        )
+    table = format_table(headers, rows, title=title)
+    speed = format_table(
+        ["speedup"] + grid.datasets, speed_rows, title="GraphMat speedups"
+    )
+    return table + "\n\n" + speed
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,49 @@
+"""GraphMat core: vertex programs, generalized SpMV and the BSP engine."""
+
+from repro.core.engine import (
+    IterationStats,
+    RunStats,
+    Workspace,
+    graph_program_init,
+    run_graph_program,
+)
+from repro.core.graph_program import EdgeDirection, GraphProgram, SemiringProgram
+from repro.core.options import ABLATION_LADDER, DEFAULT_OPTIONS, EngineOptions
+from repro.core.semiring import (
+    MAX_TIMES,
+    MIN_FIRST,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_FIRST,
+    PLUS_TIMES,
+    STANDARD_SEMIRINGS,
+    Semiring,
+    get_semiring,
+)
+from repro.core.spmv import PartitionWork, spmv_fused, spmv_scalar
+
+__all__ = [
+    "EdgeDirection",
+    "GraphProgram",
+    "SemiringProgram",
+    "EngineOptions",
+    "DEFAULT_OPTIONS",
+    "ABLATION_LADDER",
+    "IterationStats",
+    "RunStats",
+    "Workspace",
+    "graph_program_init",
+    "run_graph_program",
+    "Semiring",
+    "get_semiring",
+    "STANDARD_SEMIRINGS",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MIN_FIRST",
+    "OR_AND",
+    "MAX_TIMES",
+    "PLUS_FIRST",
+    "PartitionWork",
+    "spmv_scalar",
+    "spmv_fused",
+]

@@ -1,0 +1,292 @@
+"""The GraphMat BSP driver: ``run_graph_program`` (Algorithm 2).
+
+Each superstep:
+
+1. **Send** — every active vertex produces a message via ``send_message``;
+   messages form a sparse vector ``x`` keyed by vertex id.
+2. **SpMV** — generalized sparse matrix–sparse vector multiply of the
+   graph view(s) selected by the program's edge direction with ``x``,
+   using ``process_message`` as multiply and ``reduce`` as add.
+3. **Apply** — every vertex with an entry in the result vector ``y`` runs
+   ``apply``; vertices whose property changed become active for the next
+   superstep.
+
+The loop ends when no vertices are active or after
+``options.max_iterations`` supersteps (-1 = run to quiescence, as in the
+paper's ``run_graph_program(&inst, G, -1, &workspace)``).
+
+The engine exposes rich per-iteration statistics (message counts, edges
+processed, optional per-partition work) because the multicore simulation
+and the Figure 5–7 benchmarks are driven by the *measured* work
+distribution of real runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graph_program import EdgeDirection, GraphProgram
+from repro.core.options import DEFAULT_OPTIONS, EngineOptions
+from repro.core.spmv import PartitionWork, spmv_fused, spmv_scalar
+from repro.errors import ConvergenceError, ProgramError
+from repro.graph.graph import Graph
+from repro.vector.sparse_vector import BitvectorVector, make_sparse_vector
+
+
+@dataclass
+class IterationStats:
+    """What one superstep did."""
+
+    iteration: int
+    active_before: int
+    messages_sent: int
+    edges_processed: int
+    vertices_updated: int
+    activated: int
+    seconds: float
+    partition_work: list[PartitionWork] = field(default_factory=list)
+
+
+@dataclass
+class RunStats:
+    """Aggregate record of one ``run_graph_program`` invocation."""
+
+    iterations: list[IterationStats] = field(default_factory=list)
+    total_seconds: float = 0.0
+    converged: bool = False
+    used_fused_path: bool = False
+
+    @property
+    def n_supersteps(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_edges_processed(self) -> int:
+        return sum(it.edges_processed for it in self.iterations)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(it.messages_sent for it in self.iterations)
+
+    def seconds_per_iteration(self) -> float:
+        if not self.iterations:
+            return 0.0
+        return self.total_seconds / len(self.iterations)
+
+
+class Workspace:
+    """Reusable engine buffers, the paper's ``graph_program_init`` result.
+
+    Holds the partitioned matrix views a program needs so repeated runs on
+    the same graph (e.g. the two phases of triangle counting, benchmark
+    repetitions) skip partitioning.
+    """
+
+    def __init__(
+        self, graph: Graph, program: GraphProgram, options: EngineOptions
+    ) -> None:
+        self.graph = graph
+        self.options = options
+        self.views = _matrix_views(graph, program.direction, options)
+
+
+def _matrix_views(graph: Graph, direction: EdgeDirection, options: EngineOptions):
+    """Partitioned matrix view(s) for a scatter direction."""
+    n_parts = options.n_partitions
+    strategy = options.partition_strategy
+    if direction is EdgeDirection.OUT_EDGES:
+        return [graph.out_partitions(n_parts, strategy)]
+    if direction is EdgeDirection.IN_EDGES:
+        return [graph.in_partitions(n_parts, strategy)]
+    return [
+        graph.out_partitions(n_parts, strategy),
+        graph.in_partitions(n_parts, strategy),
+    ]
+
+
+def graph_program_init(
+    graph: Graph, program: GraphProgram, options: EngineOptions = DEFAULT_OPTIONS
+) -> Workspace:
+    """Pre-build the matrix views for ``program`` on ``graph``."""
+    program.validate()
+    return Workspace(graph, program, options)
+
+
+def run_graph_program(
+    graph: Graph,
+    program: GraphProgram,
+    options: EngineOptions = DEFAULT_OPTIONS,
+    *,
+    workspace: Workspace | None = None,
+    counters=None,
+    safety_cap: int = 100_000,
+) -> RunStats:
+    """Run ``program`` on ``graph`` until quiescence or the iteration budget.
+
+    Vertex properties and the active set live on the ``graph`` (exactly as
+    in the paper's API); callers initialize them before running and read
+    the results from ``graph.vertex_properties`` afterwards.
+
+    Parameters
+    ----------
+    options:
+        Engine configuration (see :class:`repro.core.options.EngineOptions`).
+    workspace:
+        Optional pre-built :class:`Workspace` (avoids re-partitioning).
+    counters:
+        Optional event counter sink (``repro.perf.counters.EventCounters``).
+    safety_cap:
+        Hard superstep bound for ``max_iterations == -1`` runs; exceeded
+        means the program does not quiesce and :class:`ConvergenceError`
+        is raised.
+    """
+    program.validate()
+    if workspace is not None and workspace.graph is not graph:
+        raise ProgramError("workspace was built for a different graph")
+    views = (
+        workspace.views
+        if workspace is not None
+        else _matrix_views(graph, program.direction, options)
+    )
+    use_fused = (
+        options.fused and options.use_bitvector and program.supports_fused()
+    )
+    stats = RunStats(used_fused_path=use_fused)
+    properties = graph.vertex_properties
+    n = graph.n_vertices
+    start = time.perf_counter()
+    iteration = 0
+    while True:
+        if options.max_iterations != -1 and iteration >= options.max_iterations:
+            break
+        if options.max_iterations == -1 and iteration >= safety_cap:
+            raise ConvergenceError(
+                f"program did not quiesce within {safety_cap} supersteps"
+            )
+        active_idx = np.flatnonzero(graph.active)
+        if active_idx.size == 0:
+            stats.converged = True
+            break
+        t_iter = time.perf_counter()
+
+        # -- Send phase (Algorithm 2 lines 3-5) --------------------------
+        x = make_sparse_vector(
+            n, program.message_spec, use_bitvector=options.use_bitvector
+        )
+        if use_fused:
+            sent = program.send_message_batch(
+                properties.data[active_idx], active_idx
+            )
+            if isinstance(sent, tuple):
+                send_mask, messages = sent
+                senders = active_idx[np.asarray(send_mask, dtype=bool)]
+                messages = np.asarray(messages)[np.asarray(send_mask, dtype=bool)]
+            else:
+                senders, messages = active_idx, np.asarray(sent)
+            x.scatter(senders, messages)
+            if counters is not None:
+                counters.record(
+                    user_calls=1,
+                    element_ops=int(active_idx.size),
+                    random_accesses=int(senders.shape[0]),
+                )
+        else:
+            for v in active_idx:
+                message = program.send_message(properties.get(int(v)))
+                if message is not None:
+                    x.set(int(v), message)
+            if counters is not None:
+                counters.record(
+                    user_calls=int(active_idx.size),
+                    random_accesses=int(active_idx.size),
+                )
+        messages_sent = x.nnz
+
+        # -- SpMV phase (Algorithm 2 line 6 / Algorithm 1) ----------------
+        y = make_sparse_vector(
+            n, program.result_spec, use_bitvector=options.use_bitvector
+        )
+        partition_work: list[PartitionWork] | None = (
+            [] if options.record_partition_stats else None
+        )
+        edges = 0
+        for view in views:
+            if use_fused:
+                assert isinstance(x, BitvectorVector)
+                assert isinstance(y, BitvectorVector)
+                edges += spmv_fused(
+                    view, x, y, program, properties, counters, partition_work
+                )
+            else:
+                edges += spmv_scalar(
+                    view, x, y, program, properties, counters, partition_work
+                )
+
+        # -- Apply phase (Algorithm 2 lines 7-13) -------------------------
+        graph.active[:] = False
+        if use_fused:
+            updated_idx = y.indices()
+            if updated_idx.size:
+                reduced = y.values[updated_idx]
+                old_props = properties.data[updated_idx]
+                if old_props.base is not None:
+                    old_props = old_props.copy()
+                new_props = program.apply_batch(reduced, old_props)
+                properties.data[updated_idx] = new_props
+                unchanged = program.properties_equal_batch(old_props, new_props)
+                activated_idx = updated_idx[~unchanged]
+                graph.active[activated_idx] = True
+                vertices_updated = int(updated_idx.size)
+                activated = int(activated_idx.size)
+                if counters is not None:
+                    counters.record(
+                        user_calls=2,
+                        element_ops=vertices_updated,
+                        random_accesses=2 * vertices_updated,
+                    )
+            else:
+                vertices_updated = activated = 0
+        else:
+            vertices_updated = activated = 0
+            for k, reduced_value in y.items():
+                old_prop = properties.get(k)
+                if isinstance(old_prop, np.ndarray):
+                    old_prop = old_prop.copy()
+                new_prop = program.apply(reduced_value, old_prop)
+                properties.set(k, new_prop)
+                vertices_updated += 1
+                if not program.properties_equal(old_prop, new_prop):
+                    graph.active[k] = True
+                    activated += 1
+            if counters is not None:
+                counters.record(
+                    user_calls=vertices_updated,
+                    random_accesses=2 * vertices_updated,
+                )
+
+        if program.reactivate_all:
+            graph.active[:] = True
+            activated = graph.n_vertices
+
+        stats.iterations.append(
+            IterationStats(
+                iteration=iteration,
+                active_before=int(active_idx.size),
+                messages_sent=messages_sent,
+                edges_processed=edges,
+                vertices_updated=vertices_updated,
+                activated=activated,
+                seconds=time.perf_counter() - t_iter,
+                partition_work=partition_work or [],
+            )
+        )
+        iteration += 1
+
+    stats.total_seconds = time.perf_counter() - start
+    if not stats.converged and options.max_iterations != -1:
+        # Ran out of budget; check quiescence for the flag's sake.
+        stats.converged = graph.active_count == 0
+    return stats

@@ -1,0 +1,128 @@
+"""Engine configuration: the optimization knobs of paper section 4.5.
+
+Each knob corresponds to one bar of the Figure 7 ablation:
+
+1. ``use_bitvector`` — sparse vectors as bitvector + dense values instead of
+   sorted (index, value) tuples (section 4.4.2).
+2. ``fused`` — vectorized kernels with the user functions fused in, our
+   analogue of compiling with ``-ipo`` (inlining user functions into the
+   SpMV inner loop removes per-edge call dispatch).
+3. ``n_threads`` — number of *simulated* cores the partitioned SpMV is
+   scheduled onto (see :mod:`repro.perf.parallel_model` and the
+   substitution table in DESIGN.md).
+4. ``partitions_per_thread`` / ``dynamic_schedule`` — load balancing:
+   "partition the matrix into many more partitions than threads along with
+   dynamic scheduling" (section 4.5 item 4).  Without load balancing the
+   number of partitions equals the number of threads and assignment is
+   static.
+
+The paper notes the only user-visible tunables are the thread count and the
+number of matrix partitions; everything else defaults on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Configuration of the GraphMat engine."""
+
+    #: Sparse vector representation (section 4.4.2, option 2 when True).
+    use_bitvector: bool = True
+    #: Use fused/vectorized kernels when the program supports them.
+    fused: bool = True
+    #: Simulated core count for the parallel model (1 = serial semantics).
+    n_threads: int = 1
+    #: Over-partitioning factor; the paper's SSSP example uses
+    #: ``nthreads * 8`` partitions (appendix source code).
+    partitions_per_thread: int = 8
+    #: Dynamic (work-stealing style) scheduling of partitions onto threads.
+    dynamic_schedule: bool = True
+    #: Row split strategy for partitioning: "rows" or "nnz".
+    partition_strategy: str = "rows"
+    #: Upper bound on supersteps; -1 means run until convergence
+    #: (the paper's ``run_graph_program(..., -1, ...)``).
+    max_iterations: int = -1
+    #: Record per-partition work each superstep (feeds the parallel model
+    #: and Figure 5/7; cheap, but off by default for micro-benchmarks).
+    record_partition_stats: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ProgramError(f"n_threads must be >= 1, got {self.n_threads}")
+        if self.partitions_per_thread < 1:
+            raise ProgramError(
+                f"partitions_per_thread must be >= 1, got {self.partitions_per_thread}"
+            )
+        if self.partition_strategy not in ("rows", "nnz"):
+            raise ProgramError(
+                f"partition_strategy must be 'rows' or 'nnz', "
+                f"got {self.partition_strategy!r}"
+            )
+        if self.max_iterations == 0 or self.max_iterations < -1:
+            raise ProgramError(
+                f"max_iterations must be -1 (until convergence) or positive, "
+                f"got {self.max_iterations}"
+            )
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of matrix partitions implied by the load-balance knobs."""
+        if self.dynamic_schedule:
+            return self.n_threads * self.partitions_per_thread
+        return self.n_threads
+
+    def with_(self, **changes) -> "EngineOptions":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)
+
+
+#: The paper's default configuration: everything on.
+DEFAULT_OPTIONS = EngineOptions()
+
+#: The Figure 7 ablation ladder, in presentation order.
+ABLATION_LADDER: tuple[tuple[str, EngineOptions], ...] = (
+    (
+        "naive",
+        EngineOptions(
+            use_bitvector=False, fused=False, n_threads=1, dynamic_schedule=False
+        ),
+    ),
+    (
+        "+bitvector",
+        EngineOptions(
+            use_bitvector=True, fused=False, n_threads=1, dynamic_schedule=False
+        ),
+    ),
+    (
+        "+ipo",
+        EngineOptions(
+            use_bitvector=True, fused=True, n_threads=1, dynamic_schedule=False
+        ),
+    ),
+    (
+        "+parallel",
+        EngineOptions(
+            use_bitvector=True,
+            fused=True,
+            n_threads=24,
+            dynamic_schedule=False,
+            record_partition_stats=True,
+        ),
+    ),
+    (
+        "+load balance",
+        EngineOptions(
+            use_bitvector=True,
+            fused=True,
+            n_threads=24,
+            dynamic_schedule=True,
+            partitions_per_thread=8,
+            record_partition_stats=True,
+        ),
+    ),
+)

@@ -1,0 +1,365 @@
+"""Generalized sparse matrix–sparse vector multiplication (Algorithm 1).
+
+Three code paths implement the same semantics:
+
+- :func:`spmv_scalar` — a literal transcription of Algorithm 1: walk the
+  non-empty columns of each DCSC block, test column membership in the
+  message vector, and call the program's scalar ``process_message`` /
+  ``reduce`` per edge.  With ``SortedTuplesVector`` messages this is the
+  paper's *naive* configuration; with ``BitvectorVector`` it is the
+  *+bitvector* configuration (membership drops from a binary search to a
+  bit probe).
+
+- :func:`spmv_fused` — the *+ipo* configuration: per-edge work is executed
+  through the program's batch hooks on aligned numpy arrays (gather
+  messages, process all edges of a block at once, segment-reduce by
+  destination).  This removes per-edge Python dispatch exactly as ``-ipo``
+  inlining removes per-edge call overhead in the C++ original.
+
+Both paths accumulate into the same output vector ``y`` so a superstep may
+chain several matrix views (ALL_EDGES programs multiply by both ``A^T`` and
+``A``).
+
+Per-partition work (edges processed, wall seconds) can be recorded into a
+:class:`PartitionWork` list; the simulated-multicore model replays that
+schedule (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph_program import GraphProgram
+from repro.matrix.partition import PartitionedMatrix
+from repro.vector.dense import PropertyArray
+from repro.vector.sparse_vector import BitvectorVector, SparseVector
+
+
+@dataclass
+class PartitionWork:
+    """Work done by one partition during one SpMV call."""
+
+    partition: int
+    edges: int
+    active_columns: int
+    seconds: float
+
+
+def _expand_spans(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices covering ``[starts[i], starts[i]+lengths[i])`` for all i.
+
+    The standard prefix-sum trick: output is the concatenation of the
+    per-span ``arange``\\ s without a Python loop.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    return np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths) + np.repeat(
+        starts, lengths
+    )
+
+
+def _reduce_sorted_groups(
+    program: GraphProgram,
+    sorted_results: np.ndarray,
+    group_starts: np.ndarray,
+    n_items: int,
+) -> np.ndarray:
+    """Reduce row-grouped results given precomputed group starts."""
+    if program.reduce_ufunc is not None:
+        return program.reduce_ufunc.reduceat(sorted_results, group_starts, axis=0)
+    ends = np.empty_like(group_starts)
+    ends[:-1] = group_starts[1:]
+    ends[-1] = n_items
+    custom = program.reduce_segments(sorted_results, group_starts, ends)
+    if custom is not None:
+        return np.asarray(custom)
+    # Generic fallback: per-group scalar reduce (object-valued programs).
+    reduced_list = []
+    for g in range(group_starts.shape[0]):
+        acc = sorted_results[group_starts[g]]
+        for t in range(group_starts[g] + 1, ends[g]):
+            acc = program.reduce(acc, sorted_results[t])
+        reduced_list.append(acc)
+    out = np.empty(len(reduced_list), dtype=object)
+    for i, item in enumerate(reduced_list):
+        out[i] = item
+    return out
+
+
+def _segment_reduce(
+    program: GraphProgram,
+    results: np.ndarray,
+    dst: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce per-edge ``results`` by destination vertex.
+
+    Returns ``(unique_dst, reduced)`` with ``unique_dst`` sorted.  Uses the
+    program's ufunc (``reduceat``) when declared, else per-group Python
+    reduction with the scalar ``reduce``.
+    """
+    order = np.argsort(dst, kind="stable")
+    sorted_dst = dst[order]
+    sorted_results = results[order]
+    boundary = np.empty(sorted_dst.shape[0], dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_dst[1:] != sorted_dst[:-1]
+    group_starts = np.flatnonzero(boundary)
+    unique_dst = sorted_dst[group_starts]
+    reduced = _reduce_sorted_groups(
+        program, sorted_results, group_starts, sorted_dst.shape[0]
+    )
+    return unique_dst, reduced
+
+
+def _reduce_by_destination(
+    program: GraphProgram,
+    results: np.ndarray,
+    edge_dst: np.ndarray,
+    block,
+    full_coverage: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Destination-grouped reduction, choosing the cheapest valid kernel.
+
+    - full-frontier SpMVs reuse the block's cached row grouping (no
+      per-superstep sort),
+    - additive numeric reductions use ``bincount`` (O(edges), no sort),
+    - everything else falls back to sort + reduceat / scalar reduce.
+    """
+    results = np.asarray(results)
+    if (
+        full_coverage
+        and not (program.reduce_ufunc is np.add and results.dtype != object)
+    ):
+        order, group_starts, unique_rows = block.dst_groups()
+        return unique_rows, _reduce_sorted_groups(
+            program, results[order], group_starts, results.shape[0]
+        )
+    if program.reduce_ufunc is np.add and results.dtype != object:
+        lo, hi = block.row_range
+        width = hi - lo
+        local = edge_dst - lo
+        counts = np.bincount(local, minlength=width)
+        received = counts > 0
+        if results.ndim == 1:
+            reduced = np.bincount(local, weights=results, minlength=width)[
+                received
+            ]
+        else:
+            columns = [
+                np.bincount(local, weights=results[:, j], minlength=width)[
+                    received
+                ]
+                for j in range(results.shape[1])
+            ]
+            reduced = np.stack(columns, axis=1)
+        unique_dst = (np.flatnonzero(received) + lo).astype(np.int64)
+        return unique_dst, reduced
+    return _segment_reduce(program, results, edge_dst)
+
+
+def _combine_into(
+    program: GraphProgram,
+    y: BitvectorVector,
+    unique_dst: np.ndarray,
+    reduced: np.ndarray,
+) -> None:
+    """Merge reduced per-destination values into ``y`` (reduce on overlap)."""
+    if unique_dst.size == 0:
+        return
+    existing_mask = y.valid_mask()[unique_dst]
+    if not existing_mask.any():
+        y.scatter(unique_dst, reduced)
+        return
+    fresh = ~existing_mask
+    if fresh.any():
+        y.scatter(unique_dst[fresh], reduced[fresh])
+    clash_idx = unique_dst[existing_mask]
+    clash_val = reduced[existing_mask]
+    if program.reduce_ufunc is not None:
+        y.values[clash_idx] = program.reduce_ufunc(y.values[clash_idx], clash_val)
+    else:
+        for t in range(clash_idx.shape[0]):
+            k = int(clash_idx[t])
+            y.set(k, program.reduce(y.get(k), clash_val[t]))
+
+
+def spmv_scalar(
+    blocks: PartitionedMatrix,
+    x: SparseVector,
+    y: SparseVector,
+    program: GraphProgram,
+    properties: PropertyArray,
+    counters=None,
+    partition_work: list[PartitionWork] | None = None,
+) -> int:
+    """Algorithm 1, literally.  Returns the number of edges processed."""
+    total_edges = 0
+    for p, block in enumerate(blocks):
+        t0 = time.perf_counter()
+        edges = 0
+        active_cols = 0
+        for j, dst_rows, edge_vals in block.columns():
+            if j not in x:
+                continue
+            active_cols += 1
+            xj = x.get(j)
+            for t in range(dst_rows.shape[0]):
+                k = int(dst_rows[t])
+                result = program.process_message(
+                    xj, edge_vals[t], properties.get(k)
+                )
+                if k in y:
+                    y.set(k, program.reduce(y.get(k), result))
+                else:
+                    y.set(k, result)
+            edges += int(dst_rows.shape[0])
+        seconds = time.perf_counter() - t0
+        total_edges += edges
+        if counters is not None:
+            # One process_message + one reduce-or-insert per edge, one
+            # membership probe per non-empty column, one property read and
+            # one scattered y update per edge.
+            counters.record(
+                user_calls=2 * edges,
+                element_ops=edges,
+                random_accesses=2 * edges + block.nzc,
+                sequential_bytes=edges * 16,
+                messages=active_cols,
+            )
+        if partition_work is not None:
+            partition_work.append(PartitionWork(p, edges, active_cols, seconds))
+    return total_edges
+
+
+def spmv_fused(
+    blocks: PartitionedMatrix,
+    x: BitvectorVector,
+    y: BitvectorVector,
+    program: GraphProgram,
+    properties: PropertyArray,
+    counters=None,
+    partition_work: list[PartitionWork] | None = None,
+) -> int:
+    """Vectorized generalized SpMV (the ``-ipo`` analogue).
+
+    Requires bitvector-backed vectors and a program implementing the batch
+    hooks.  Returns the number of edges processed.
+    """
+    x_mask = x.valid_mask()
+    total_edges = 0
+    for p, block in enumerate(blocks):
+        t0 = time.perf_counter()
+        if block.nzc == 0:
+            if partition_work is not None:
+                partition_work.append(
+                    PartitionWork(p, 0, 0, time.perf_counter() - t0)
+                )
+            continue
+        active_pos = np.flatnonzero(x_mask[block.jc])
+        if active_pos.size == 0:
+            if partition_work is not None:
+                partition_work.append(
+                    PartitionWork(p, 0, 0, time.perf_counter() - t0)
+                )
+            continue
+        full_coverage = int(active_pos.size) == block.nzc
+        dense_frontier = (
+            not full_coverage
+            and program.reduce_identity is not None
+            and x.spec.dtype != object
+            and 2 * int(active_pos.size) > block.nzc
+        )
+        if full_coverage:
+            edge_dst = block.ir
+            edge_vals = block.num
+            src_cols = block.col_expanded()
+            edges = block.nnz
+        elif dense_frontier:
+            # Dense-frontier path: touch every edge, masking silent sources
+            # to the reduce identity; reuse the cached row grouping instead
+            # of sorting the frontier's edges.  Rows whose reduction stays
+            # at the identity received no real message and are dropped.
+            src_cols = block.col_expanded()
+            sent = x_mask[src_cols]
+            messages = np.where(sent, x.values[src_cols], program.reduce_identity)
+            results = program.process_message_batch(
+                messages, block.num, properties.data[block.ir]
+            )
+            order, group_starts, unique_rows = block.dst_groups()
+            reduced_all = _reduce_sorted_groups(
+                program, np.asarray(results)[order], group_starts, block.nnz
+            )
+            keep = reduced_all != program.reduce_identity
+            _combine_into(program, y, unique_rows[keep], reduced_all[keep])
+            edges = block.nnz
+            seconds = time.perf_counter() - t0
+            total_edges += edges
+            if counters is not None:
+                counters.record(
+                    user_calls=6,
+                    element_ops=3 * edges,
+                    random_accesses=edges + int(keep.sum()),
+                    sequential_bytes=edges * 24,
+                    messages=int(active_pos.size),
+                    allocations=6,
+                )
+            if partition_work is not None:
+                partition_work.append(
+                    PartitionWork(p, edges, int(active_pos.size), seconds)
+                )
+            continue
+        else:
+            starts = block.cp[active_pos]
+            lengths = block.cp[active_pos + 1] - starts
+            take = _expand_spans(starts, lengths)
+            edges = int(take.shape[0])
+            edge_dst = block.ir[take]
+            edge_vals = block.num[take]
+            src_cols = np.repeat(block.jc[active_pos], lengths)
+        if edges == 0:
+            if partition_work is not None:
+                partition_work.append(
+                    PartitionWork(p, 0, int(active_pos.size), time.perf_counter() - t0)
+                )
+            continue
+        results = program.process_edges_packed(
+            src_cols, edge_vals, edge_dst, properties.data
+        )
+        if results is None:
+            messages = x.values[src_cols]
+            results = program.process_message_batch(
+                messages, edge_vals, properties.data[edge_dst]
+            )
+        unique_dst, reduced = _reduce_by_destination(
+            program,
+            np.asarray(results),
+            edge_dst,
+            block,
+            full_coverage=full_coverage,
+        )
+        _combine_into(program, y, unique_dst, reduced)
+        seconds = time.perf_counter() - t0
+        total_edges += edges
+        if counters is not None:
+            # Fused kernels: a handful of vector operations per block, one
+            # element op per edge for process + reduce, scattered property
+            # gather and y scatter, streamed ir/num arrays.
+            counters.record(
+                user_calls=6,
+                element_ops=2 * edges,
+                random_accesses=edges + int(unique_dst.shape[0]),
+                sequential_bytes=edges * 16,
+                messages=int(active_pos.size),
+                allocations=5,
+            )
+        if partition_work is not None:
+            partition_work.append(
+                PartitionWork(p, edges, int(active_pos.size), seconds)
+            )
+    return total_edges

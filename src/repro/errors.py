@@ -1,0 +1,55 @@
+"""Exception hierarchy for the GraphMat reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type for anything that goes wrong inside the library
+while still letting programming errors (``TypeError`` from bad call sites,
+``KeyError`` from user dictionaries, ...) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A matrix/vector operation received operands of incompatible shape."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse data structure failed structural validation.
+
+    Raised when an array describing a sparse matrix or vector violates the
+    format's invariants: unsorted index arrays, out-of-range indices,
+    pointer arrays that are not monotone, and so on.
+    """
+
+
+class GraphError(ReproError, ValueError):
+    """A graph-level operation received an invalid graph or vertex id."""
+
+
+class ProgramError(ReproError):
+    """A vertex program is malformed or misbehaved during execution.
+
+    Examples: a program whose ``reduce`` is requested in vectorized mode
+    without declaring a ufunc, or a program returning messages of an
+    unexpected shape.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative computation failed to converge within its budget."""
+
+
+class DatasetError(ReproError, ValueError):
+    """An unknown dataset name or invalid dataset parameters."""
+
+
+class IOFormatError(ReproError, ValueError):
+    """A file being read does not conform to its declared on-disk format."""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """A benchmark harness invariant was violated."""

@@ -1,0 +1,29 @@
+"""The frameworks compared in the paper's evaluation (Figure 4)."""
+
+from repro.frameworks.base import Framework, RunRecord, cf_initial_factors
+from repro.frameworks.combblas_like import CombBLASLikeFramework
+from repro.frameworks.galois_like import GaloisLikeFramework
+from repro.frameworks.graphlab_like import GraphLabLikeFramework
+from repro.frameworks.graphmat import GraphMatFramework
+from repro.frameworks.native import NativeFramework
+from repro.frameworks.registry import (
+    COMPARED_FRAMEWORKS,
+    framework_names,
+    make_compared_frameworks,
+    make_framework,
+)
+
+__all__ = [
+    "Framework",
+    "RunRecord",
+    "cf_initial_factors",
+    "GraphMatFramework",
+    "GraphLabLikeFramework",
+    "CombBLASLikeFramework",
+    "GaloisLikeFramework",
+    "NativeFramework",
+    "make_framework",
+    "make_compared_frameworks",
+    "framework_names",
+    "COMPARED_FRAMEWORKS",
+]

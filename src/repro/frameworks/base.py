@@ -1,0 +1,119 @@
+"""Common interface for the frameworks compared in the paper's Figure 4.
+
+Every framework (GraphMat itself, the GraphLab-like, CombBLAS-like and
+Galois-like baselines, and the native hand-optimized code) implements the
+same five algorithm entry points with *identical semantics*, so the test
+suite can assert that all five produce the same answers and the benchmark
+harness can time them interchangeably.
+
+Each entry point returns ``(result, RunRecord)``.  The record carries the
+wall time, the abstract event counters (Figure 6) and the per-superstep
+work-unit distributions that drive the multicore simulation (Figure 5);
+see DESIGN.md's substitution table for why these stand in for PMU counters
+and real threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.perf.counters import EventCounters
+from repro.perf.parallel_model import ScalingProfile
+
+
+@dataclass
+class RunRecord:
+    """Measured facts about one framework run."""
+
+    framework: str
+    algorithm: str
+    seconds: float = 0.0
+    iterations: int = 0
+    counters: EventCounters = field(default_factory=EventCounters)
+    #: One entry per superstep: the cost of each schedulable work unit
+    #: (partition, vertex task, grid block) actually executed.
+    per_iteration_work: list[np.ndarray] = field(default_factory=list)
+
+    def seconds_per_iteration(self) -> float:
+        return self.seconds / self.iterations if self.iterations else self.seconds
+
+
+class Framework:
+    """Abstract framework: five algorithms, one scaling profile.
+
+    The default collaborative-filtering hyperparameters are shared by all
+    implementations so results are comparable run-to-run.
+    """
+
+    name: str = "abstract"
+    scaling_profile: ScalingProfile = ScalingProfile(name="abstract")
+
+    # -- the five paper algorithms ----------------------------------------
+    def pagerank(
+        self, graph: Graph, *, r: float = 0.15, iterations: int = 10
+    ) -> tuple[np.ndarray, RunRecord]:
+        """Paper equation 1 for a fixed iteration count; returns ranks."""
+        raise NotImplementedError
+
+    def bfs(self, graph: Graph, root: int) -> tuple[np.ndarray, RunRecord]:
+        """Hop distances from ``root`` (``inf`` = unreached)."""
+        raise NotImplementedError
+
+    def sssp(self, graph: Graph, source: int) -> tuple[np.ndarray, RunRecord]:
+        """Shortest weighted distances from ``source``."""
+        raise NotImplementedError
+
+    def triangle_count(self, dag: Graph) -> tuple[int, RunRecord]:
+        """Triangle count of a DAG-oriented graph (see preprocess.to_dag)."""
+        raise NotImplementedError
+
+    def collaborative_filtering(
+        self,
+        graph: Graph,
+        n_users: int,
+        *,
+        k: int = 8,
+        gamma: float = 0.001,
+        lam: float = 0.05,
+        iterations: int = 5,
+        seed: int = 0,
+    ) -> tuple[np.ndarray, RunRecord]:
+        """Latent factors of a bipartite rating graph (paper equations 3-6)."""
+        raise NotImplementedError
+
+    # -- dispatch helper ----------------------------------------------------
+    def run(
+        self, algorithm: str, graph: Graph, *args, **params
+    ) -> tuple[object, RunRecord]:
+        """Invoke an algorithm by its short name (harness convenience).
+
+        Positional arguments are the algorithm's required operands (BFS
+        root, SSSP source, CF user count); keyword arguments are tuning
+        parameters.
+        """
+        dispatch = {
+            "pagerank": self.pagerank,
+            "bfs": self.bfs,
+            "sssp": self.sssp,
+            "tc": self.triangle_count,
+            "cf": self.collaborative_filtering,
+        }
+        if algorithm not in dispatch:
+            known = ", ".join(dispatch)
+            raise KeyError(f"unknown algorithm {algorithm!r}; known: {known}")
+        return dispatch[algorithm](graph, *args, **params)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def cf_initial_factors(
+    n_vertices: int, k: int, seed: int, scale: float = 0.1
+) -> np.ndarray:
+    """The shared CF initialization: every framework starts from the same
+    random factors so gradient-descent trajectories are comparable."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, scale, size=(n_vertices, k))

@@ -1,0 +1,158 @@
+"""GraphMat as a :class:`~repro.frameworks.base.Framework`.
+
+Thin adapter over the core engine drivers in :mod:`repro.algorithms`,
+with counters and per-partition work recording switched on so the
+Figure 5/6/7 benchmarks can read them back.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.bfs import run_bfs
+from repro.algorithms.collaborative_filtering import run_collaborative_filtering
+from repro.algorithms.pagerank import run_pagerank
+from repro.algorithms.sssp import run_sssp
+from repro.algorithms.triangle_count import run_triangle_count
+from repro.core.engine import RunStats
+from repro.core.options import EngineOptions
+from repro.frameworks.base import Framework, RunRecord
+from repro.graph.graph import Graph
+from repro.perf.counters import EventCounters
+from repro.perf.parallel_model import ScalingProfile
+
+
+def _work_profile(*stats_list: RunStats) -> list[np.ndarray]:
+    """Per-superstep per-partition edge counts from engine statistics."""
+    profile = []
+    for stats in stats_list:
+        for it in stats.iterations:
+            if it.partition_work:
+                profile.append(
+                    np.asarray(
+                        [w.edges for w in it.partition_work], dtype=np.float64
+                    )
+                )
+            else:
+                profile.append(
+                    np.asarray([it.edges_processed], dtype=np.float64)
+                )
+    return profile
+
+
+class GraphMatFramework(Framework):
+    """The paper's system: vertex programs on the generalized-SpMV engine."""
+
+    name = "GraphMat"
+    #: Over-partitioned dynamic scheduling, light BSP barrier, vectorized
+    #: streaming backend (section 4.5).
+    scaling_profile = ScalingProfile(
+        name="GraphMat",
+        schedule="dynamic",
+        sync_units=24.0,
+        per_unit_overhead=2.0,
+        bandwidth_beta=0.05,
+        streaming_fraction=0.75,
+    )
+
+    def __init__(self, options: EngineOptions | None = None) -> None:
+        if options is None:
+            options = EngineOptions(record_partition_stats=True)
+        self.options = options.with_(record_partition_stats=True)
+
+    def _timed(self, algorithm: str, fn) -> tuple[object, RunRecord, object]:
+        """Run ``fn(counters)``; returns (result, record, driver_result)."""
+        counters = EventCounters()
+        start = time.perf_counter()
+        driver_result = fn(counters)
+        seconds = time.perf_counter() - start
+        record = RunRecord(
+            framework=self.name,
+            algorithm=algorithm,
+            seconds=seconds,
+            counters=counters,
+        )
+        return record, driver_result
+
+    # ------------------------------------------------------------------
+    def pagerank(self, graph: Graph, *, r: float = 0.15, iterations: int = 10):
+        record, result = self._timed(
+            "pagerank",
+            lambda counters: run_pagerank(
+                graph,
+                r=r,
+                max_iterations=iterations,
+                options=self.options,
+                counters=counters,
+            ),
+        )
+        record.iterations = result.stats.n_supersteps
+        record.per_iteration_work = _work_profile(result.stats)
+        return result.ranks, record
+
+    def bfs(self, graph: Graph, root: int):
+        record, result = self._timed(
+            "bfs",
+            lambda counters: run_bfs(
+                graph, root, options=self.options, counters=counters
+            ),
+        )
+        record.iterations = result.stats.n_supersteps
+        record.per_iteration_work = _work_profile(result.stats)
+        return result.distances, record
+
+    def sssp(self, graph: Graph, source: int):
+        record, result = self._timed(
+            "sssp",
+            lambda counters: run_sssp(
+                graph, source, options=self.options, counters=counters
+            ),
+        )
+        record.iterations = result.stats.n_supersteps
+        record.per_iteration_work = _work_profile(result.stats)
+        return result.distances, record
+
+    def triangle_count(self, dag: Graph):
+        record, result = self._timed(
+            "tc",
+            lambda counters: run_triangle_count(
+                dag, options=self.options, counters=counters
+            ),
+        )
+        record.iterations = 2
+        record.per_iteration_work = _work_profile(
+            result.gather_stats, result.count_stats
+        )
+        return result.total, record
+
+    def collaborative_filtering(
+        self,
+        graph: Graph,
+        n_users: int,
+        *,
+        k: int = 8,
+        gamma: float = 0.001,
+        lam: float = 0.05,
+        iterations: int = 5,
+        seed: int = 0,
+    ):
+        record, result = self._timed(
+            "cf",
+            lambda counters: run_collaborative_filtering(
+                graph,
+                n_users,
+                k=k,
+                gamma=gamma,
+                lam=lam,
+                iterations=iterations,
+                seed=seed,
+                track_rmse=False,
+                options=self.options,
+                counters=counters,
+            ),
+        )
+        record.iterations = iterations
+        record.per_iteration_work = _work_profile(result.stats)
+        return result.factors, record

@@ -1,0 +1,41 @@
+"""Framework registry: name -> constructor, in the paper's Figure 4 order."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.frameworks.base import Framework
+from repro.frameworks.combblas_like import CombBLASLikeFramework
+from repro.frameworks.galois_like import GaloisLikeFramework
+from repro.frameworks.graphlab_like import GraphLabLikeFramework
+from repro.frameworks.graphmat import GraphMatFramework
+from repro.frameworks.native import NativeFramework
+
+_FACTORIES: dict[str, Callable[[], Framework]] = {
+    "graphlab": GraphLabLikeFramework,
+    "combblas": CombBLASLikeFramework,
+    "galois": GaloisLikeFramework,
+    "graphmat": GraphMatFramework,
+    "native": NativeFramework,
+}
+
+#: The four frameworks of Figures 4-6 (native is Table 3 only).
+COMPARED_FRAMEWORKS = ("graphlab", "combblas", "galois", "graphmat")
+
+
+def framework_names() -> list[str]:
+    return list(_FACTORIES)
+
+
+def make_framework(name: str) -> Framework:
+    """Instantiate a framework by short name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(_FACTORIES)
+        raise KeyError(f"unknown framework {name!r}; known: {known}") from None
+
+
+def make_compared_frameworks() -> list[Framework]:
+    """The Figure 4 comparison set, GraphMat last (matching the legend)."""
+    return [make_framework(name) for name in COMPARED_FRAMEWORKS]

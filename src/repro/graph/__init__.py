@@ -1,0 +1,43 @@
+"""Graph substrate: container, builders, preprocessing, I/O, generators."""
+
+from repro.graph.builder import build_graph, edges_from_iterable
+from repro.graph.datasets import (
+    DatasetInfo,
+    dataset_info,
+    dataset_names,
+    datasets_for_algorithm,
+    load_dataset,
+)
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, read_mtx, write_edge_list, write_mtx
+from repro.graph.preprocess import (
+    induced_subgraph,
+    largest_connected_component,
+    remove_self_loops,
+    symmetrize,
+    to_dag,
+    with_random_weights,
+    with_unit_weights,
+)
+
+__all__ = [
+    "Graph",
+    "build_graph",
+    "edges_from_iterable",
+    "read_mtx",
+    "write_mtx",
+    "read_edge_list",
+    "write_edge_list",
+    "remove_self_loops",
+    "symmetrize",
+    "to_dag",
+    "with_unit_weights",
+    "with_random_weights",
+    "largest_connected_component",
+    "induced_subgraph",
+    "DatasetInfo",
+    "dataset_names",
+    "dataset_info",
+    "load_dataset",
+    "datasets_for_algorithm",
+]

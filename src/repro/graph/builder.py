@@ -1,0 +1,91 @@
+"""Graph construction helpers.
+
+Accepts edges in the shapes users actually have — Python iterables of
+tuples, parallel arrays, COO matrices — applies the standard preprocessing
+pipeline from paper section 5.1 ("we first remove self-loops ..."), and
+produces :class:`~repro.graph.graph.Graph` objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.matrix.coo import COOMatrix
+
+
+def edges_from_iterable(
+    edges: Iterable[tuple],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Split an iterable of ``(u, v)`` or ``(u, v, w)`` tuples into arrays."""
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    weighted: bool | None = None
+    for edge in edges:
+        if len(edge) == 2:
+            now_weighted = False
+        elif len(edge) == 3:
+            now_weighted = True
+        else:
+            raise GraphError(f"edge tuples must be (u, v) or (u, v, w), got {edge!r}")
+        if weighted is None:
+            weighted = now_weighted
+        elif weighted != now_weighted:
+            raise GraphError("cannot mix weighted and unweighted edge tuples")
+        srcs.append(int(edge[0]))
+        dsts.append(int(edge[1]))
+        if now_weighted:
+            weights.append(edge[2])
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    w = np.asarray(weights) if weighted else None
+    return src, dst, w
+
+
+def build_graph(
+    edges: Iterable[tuple] | COOMatrix,
+    n_vertices: int | None = None,
+    *,
+    remove_self_loops: bool = True,
+    dedup: bool = True,
+    symmetrize: bool = False,
+) -> Graph:
+    """Build a :class:`Graph` from edges with standard preprocessing.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v[, w])`` tuples or a pre-built COO edge matrix.
+    n_vertices:
+        Vertex-set size; inferred as ``max id + 1`` when omitted (iterable
+        input only).
+    remove_self_loops:
+        Drop ``(v, v)`` edges (the paper's first preprocessing step).
+    dedup:
+        Collapse duplicate edges, keeping the last weight.
+    symmetrize:
+        Replicate edges to make the graph undirected (the paper's BFS/TC
+        preparation).
+    """
+    if isinstance(edges, COOMatrix):
+        coo = edges
+        if n_vertices is not None and coo.shape != (n_vertices, n_vertices):
+            raise GraphError(
+                f"n_vertices={n_vertices} conflicts with matrix shape {coo.shape}"
+            )
+    else:
+        src, dst, weights = edges_from_iterable(edges)
+        if n_vertices is None:
+            n_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+        coo = COOMatrix((n_vertices, n_vertices), src, dst, weights)
+    if remove_self_loops:
+        coo = coo.without_self_loops()
+    if symmetrize:
+        coo = coo.symmetrized()
+    elif dedup:
+        coo = coo.deduplicated("last")
+    return Graph(coo)

@@ -1,0 +1,49 @@
+"""Synthetic graph generators (paper section 5.1 workloads)."""
+
+from repro.graph.generators.bipartite import (
+    NETFLIX_LIKE,
+    BipartiteSpec,
+    bipartite_rating_graph,
+    is_bipartite_user_item,
+    user_item_split,
+)
+from repro.graph.generators.random_graphs import (
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    figure3_graph,
+    gnm_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators.rmat import (
+    GRAPH500_PARAMS,
+    SSSP24_PARAMS,
+    TRIANGLE_PARAMS,
+    RmatParams,
+    rmat_edges,
+    rmat_graph,
+)
+from repro.graph.generators.road import road_graph
+
+__all__ = [
+    "RmatParams",
+    "rmat_edges",
+    "rmat_graph",
+    "GRAPH500_PARAMS",
+    "TRIANGLE_PARAMS",
+    "SSSP24_PARAMS",
+    "BipartiteSpec",
+    "NETFLIX_LIKE",
+    "bipartite_rating_graph",
+    "user_item_split",
+    "is_bipartite_user_item",
+    "road_graph",
+    "gnm_random_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "figure1_graph",
+    "figure3_graph",
+]

@@ -1,0 +1,117 @@
+"""Simple random graph generators used by tests and examples.
+
+Erdős–Rényi G(n, m) digraphs and small deterministic topologies (path,
+cycle, star, complete, the paper's Figure 1 and Figure 3 graphs).  These
+keep tests readable: every algorithm test can name a topology whose answer
+is known in closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import build_graph
+from repro.graph.graph import Graph
+from repro.matrix.coo import COOMatrix
+
+
+def gnm_random_graph(
+    n: int, m: int, *, seed: int = 0, weighted: bool = False
+) -> Graph:
+    """Directed G(n, m): ``m`` distinct directed edges chosen uniformly."""
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    max_edges = n * (n - 1)
+    if m < 0 or m > max_edges:
+        raise GraphError(f"m={m} out of range [0, {max_edges}]")
+    rng = np.random.default_rng(seed)
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < m:
+        need = m - len(chosen)
+        u = rng.integers(0, n, size=2 * need + 8)
+        v = rng.integers(0, n, size=2 * need + 8)
+        for a, b in zip(u.tolist(), v.tolist()):
+            if a != b:
+                chosen.add((a, b))
+                if len(chosen) == m:
+                    break
+    src = np.fromiter((e[0] for e in chosen), dtype=np.int64, count=m)
+    dst = np.fromiter((e[1] for e in chosen), dtype=np.int64, count=m)
+    vals = rng.uniform(1.0, 10.0, size=m) if weighted else None
+    return Graph(COOMatrix((n, n), src, dst, vals))
+
+
+def path_graph(n: int, *, weighted: bool = False) -> Graph:
+    """Directed path 0 -> 1 -> ... -> n-1 (unit or index weights)."""
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    vals = (src + 1).astype(np.float64) if weighted else None
+    return Graph(COOMatrix((n, n), src, dst, vals))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Directed cycle 0 -> 1 -> ... -> n-1 -> 0."""
+    if n < 2:
+        raise GraphError(f"need n >= 2, got {n}")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return Graph(COOMatrix((n, n), src, dst))
+
+
+def star_graph(n_leaves: int, *, outward: bool = True) -> Graph:
+    """Star with hub 0; ``outward`` sets edge direction hub->leaf."""
+    if n_leaves < 1:
+        raise GraphError(f"need n_leaves >= 1, got {n_leaves}")
+    hub = np.zeros(n_leaves, dtype=np.int64)
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    n = n_leaves + 1
+    if outward:
+        return Graph(COOMatrix((n, n), hub, leaves))
+    return Graph(COOMatrix((n, n), leaves, hub))
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete digraph on ``n`` vertices (both directions, no loops)."""
+    if n < 2:
+        raise GraphError(f"need n >= 2, got {n}")
+    grid = np.arange(n, dtype=np.int64)
+    src = np.repeat(grid, n)
+    dst = np.tile(grid, n)
+    keep = src != dst
+    return Graph(COOMatrix((n, n), src[keep], dst[keep]))
+
+
+def figure1_graph() -> Graph:
+    """The 4-vertex example of paper Figure 1 (A=0, B=1, C=2, D=3).
+
+    Edges: A->B, A->C, A->D, B->C, C->D, D->A — chosen to match the
+    in-degree vector (1, 1, 2, 2) computed in the figure.
+    """
+    return build_graph(
+        [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 0)], n_vertices=4
+    )
+
+
+def figure3_graph() -> Graph:
+    """The 5-vertex weighted SSSP example of paper Figure 3.
+
+    Vertices A..E = 0..4.  Edge weights follow the transpose matrix shown
+    in the figure: column A holds (B:1, C:3, D:2), column B holds (C:1),
+    column C holds (D:2), column D holds (E:2), column E holds (A:4).
+    Shortest distances from A are (0, 1, 2, 2, 4).
+    """
+    return build_graph(
+        [
+            (0, 1, 1.0),
+            (0, 2, 3.0),
+            (0, 3, 2.0),
+            (1, 2, 1.0),
+            (2, 3, 2.0),
+            (3, 4, 2.0),
+            (4, 0, 4.0),
+        ],
+        n_vertices=5,
+    )

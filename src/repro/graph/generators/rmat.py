@@ -1,0 +1,134 @@
+"""RMAT / Graph500 synthetic graph generator.
+
+The paper's synthetic workloads come from "the Graph500 RMAT data
+generator" with per-algorithm parameters (section 5.1):
+
+- PageRank / BFS / SSSP: ``A = 0.57, B = C = 0.19`` (Graph500 defaults),
+- Triangle counting: ``A = 0.45, B = C = 0.15``,
+- the extra scale-24 SSSP graph: ``A = 0.50, B = C = 0.10``.
+
+RMAT recursively drops each edge into one quadrant of the adjacency matrix
+with probabilities (A, B, C, D); ``scale`` fixes the vertex count at
+``2**scale`` and ``edge_factor`` the expected edges per vertex (Graph500
+uses 16).  The implementation is fully vectorized: all ``scale`` bit
+choices for all edges are drawn as numpy arrays.
+
+Graph500-style noise ("smoothing") perturbs the quadrant probabilities per
+level to avoid degenerate self-similarity; it is on by default, matching
+the reference generator's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.matrix.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class RmatParams:
+    """RMAT quadrant probabilities; D is implied as ``1 - A - B - C``."""
+
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
+
+    def __post_init__(self) -> None:
+        if min(self.a, self.b, self.c) < 0 or self.a + self.b + self.c >= 1.0:
+            raise GraphError(
+                f"invalid RMAT parameters A={self.a}, B={self.b}, C={self.c}"
+            )
+
+    @property
+    def d(self) -> float:
+        return 1.0 - self.a - self.b - self.c
+
+
+#: Parameters used in the paper for each algorithm family (section 5.1).
+GRAPH500_PARAMS = RmatParams(0.57, 0.19, 0.19)
+TRIANGLE_PARAMS = RmatParams(0.45, 0.15, 0.15)
+SSSP24_PARAMS = RmatParams(0.50, 0.10, 0.10)
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 16,
+    params: RmatParams = GRAPH500_PARAMS,
+    *,
+    seed: int = 0,
+    noise: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate RMAT edge endpoints (may contain duplicates/self-loops).
+
+    Returns ``(src, dst)`` arrays of length ``edge_factor * 2**scale``.
+    """
+    if scale < 1:
+        raise GraphError(f"scale must be >= 1, got {scale}")
+    if edge_factor < 1:
+        raise GraphError(f"edge_factor must be >= 1, got {edge_factor}")
+    rng = np.random.default_rng(seed)
+    n_edges = edge_factor << scale
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    a, b, c = params.a, params.b, params.c
+    for level in range(scale):
+        if noise:
+            # Graph500-style smoothing: jitter the quadrant probabilities
+            # per level, renormalized to keep a+b+c+d = 1.
+            factors = 1.0 + rng.uniform(-noise, noise, size=4)
+            pa, pb, pc, pd = (
+                a * factors[0],
+                b * factors[1],
+                c * factors[2],
+                params.d * factors[3],
+            )
+            total = pa + pb + pc + pd
+            pa, pb, pc = pa / total, pb / total, pc / total
+        else:
+            pa, pb, pc = a, b, c
+        draw = rng.random(n_edges)
+        # Quadrant layout: A = (0,0), B = (0,1), C = (1,0), D = (1,1);
+        # the first coordinate is the source bit, the second the dest bit.
+        src_bit = draw >= pa + pb
+        dst_bit = ((draw >= pa) & (draw < pa + pb)) | (draw >= pa + pb + pc)
+        bit = np.int64(1 << (scale - 1 - level))
+        src += bit * src_bit.astype(np.int64)
+        dst += bit * dst_bit.astype(np.int64)
+    # Graph500 permutes vertex ids so degree does not correlate with id.
+    perm = rng.permutation(np.int64(1) << scale)
+    return perm[src], perm[dst]
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    params: RmatParams = GRAPH500_PARAMS,
+    *,
+    seed: int = 0,
+    weighted: bool = False,
+    weight_range: tuple[float, float] = (1.0, 100.0),
+    remove_self_loops: bool = True,
+    dedup: bool = True,
+) -> Graph:
+    """Generate an RMAT graph ready for the paper's pipelines.
+
+    ``weighted=True`` draws uniform edge weights (SSSP workloads);
+    unweighted graphs carry integer weight 1.
+    """
+    src, dst = rmat_edges(scale, edge_factor, params, seed=seed)
+    n = 1 << scale
+    rng = np.random.default_rng(seed + 1)
+    if weighted:
+        vals = rng.uniform(weight_range[0], weight_range[1], size=src.shape[0])
+    else:
+        vals = np.ones(src.shape[0], dtype=np.int64)
+    coo = COOMatrix((n, n), src, dst, vals)
+    if remove_self_loops:
+        coo = coo.without_self_loops()
+    if dedup:
+        coo = coo.deduplicated("last")
+    return Graph(coo)

@@ -1,0 +1,88 @@
+"""Road-network generator: the USA-road (DIMACS) proxy.
+
+Road networks are the anti-social-network: average degree ≈ 2.5, tiny
+maximum degree, and a diameter in the thousands.  The paper's SSSP result
+hinges on this shape — "some of these datasets are such that SSSP takes a
+lot of iterations to finish with each iteration doing a relatively small
+amount of work (especially for Flickr and USA-Road graphs)" (section
+5.2.1) — so the proxy must preserve low degree and high diameter, not the
+exact topology.
+
+The generator builds a W×H grid of intersections, keeps each
+horizontal/vertical road segment with probability ``keep``, adds a few
+random diagonal shortcuts, and weights every edge with a uniform random
+length.  Edges are bidirectional (two directed edges), matching DIMACS
+road graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.matrix.coo import COOMatrix
+
+
+def road_graph(
+    width: int,
+    height: int,
+    *,
+    keep: float = 0.92,
+    shortcut_fraction: float = 0.005,
+    weight_range: tuple[float, float] = (1.0, 10_000.0),
+    seed: int = 0,
+) -> Graph:
+    """Generate a grid-like road network.
+
+    Parameters
+    ----------
+    width, height:
+        Grid dimensions; the graph has ``width * height`` vertices.
+    keep:
+        Probability of retaining each grid segment (models missing roads;
+        values below ~0.6 fragment the network).
+    shortcut_fraction:
+        Extra random edges as a fraction of grid edges (highways).
+    weight_range:
+        Uniform edge-length range, mimicking DIMACS travel times.
+    """
+    if width < 2 or height < 2:
+        raise GraphError(f"grid must be at least 2x2, got {width}x{height}")
+    if not 0 < keep <= 1:
+        raise GraphError(f"keep must be in (0, 1], got {keep}")
+    rng = np.random.default_rng(seed)
+    n = width * height
+
+    def vid(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return (y * width + x).astype(np.int64)
+
+    # Horizontal segments: (x, y) -- (x+1, y)
+    hx, hy = np.meshgrid(np.arange(width - 1), np.arange(height), indexing="xy")
+    h_src = vid(hx.ravel(), hy.ravel())
+    h_dst = vid(hx.ravel() + 1, hy.ravel())
+    # Vertical segments: (x, y) -- (x, y+1)
+    vx, vy = np.meshgrid(np.arange(width), np.arange(height - 1), indexing="xy")
+    v_src = vid(vx.ravel(), vy.ravel())
+    v_dst = vid(vx.ravel(), vy.ravel() + 1)
+
+    src = np.concatenate([h_src, v_src])
+    dst = np.concatenate([h_dst, v_dst])
+    kept = rng.random(src.shape[0]) < keep
+    src, dst = src[kept], dst[kept]
+
+    n_shortcuts = int(shortcut_fraction * src.shape[0])
+    if n_shortcuts:
+        s_src = rng.integers(0, n, size=n_shortcuts)
+        s_dst = rng.integers(0, n, size=n_shortcuts)
+        ok = s_src != s_dst
+        src = np.concatenate([src, s_src[ok]])
+        dst = np.concatenate([dst, s_dst[ok]])
+
+    lengths = rng.uniform(weight_range[0], weight_range[1], size=src.shape[0])
+    # Bidirectional roads: mirror every segment with the same length.
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    vals = np.concatenate([lengths, lengths])
+    coo = COOMatrix((n, n), rows, cols, vals).deduplicated("min")
+    return Graph(coo)

@@ -1,0 +1,180 @@
+"""Graph file I/O: MatrixMarket and edge-list formats.
+
+GraphMat's loader is ``ReadMTX`` (paper appendix), so MatrixMarket
+coordinate files are the primary format here.  A plain whitespace-separated
+edge-list reader/writer is provided as well because most public graph dumps
+ship that way.
+
+MatrixMarket specifics honoured:
+
+- header ``%%MatrixMarket matrix coordinate <field> <symmetry>`` with
+  ``field`` in {pattern, integer, real} and ``symmetry`` in
+  {general, symmetric},
+- ``%`` comment lines,
+- 1-based indices on disk, converted to 0-based in memory,
+- ``symmetric`` files expand the stored lower/upper triangle into both
+  directions on read.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IOFormatError
+from repro.graph.graph import Graph
+from repro.matrix.coo import COOMatrix
+
+_VALID_FIELDS = {"pattern", "integer", "real"}
+_VALID_SYMMETRY = {"general", "symmetric"}
+
+
+def read_mtx(path: str | Path) -> Graph:
+    """Read a MatrixMarket coordinate file into a :class:`Graph`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return _read_mtx_stream(handle, str(path))
+
+
+def _read_mtx_stream(handle: io.TextIOBase, name: str) -> Graph:
+    header = handle.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise IOFormatError(f"{name}: missing %%MatrixMarket header")
+    parts = header.strip().split()
+    if len(parts) != 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+        raise IOFormatError(
+            f"{name}: expected 'matrix coordinate <field> <symmetry>' header, "
+            f"got {header.strip()!r}"
+        )
+    field, symmetry = parts[3].lower(), parts[4].lower()
+    if field not in _VALID_FIELDS:
+        raise IOFormatError(f"{name}: unsupported field {field!r}")
+    if symmetry not in _VALID_SYMMETRY:
+        raise IOFormatError(f"{name}: unsupported symmetry {symmetry!r}")
+
+    size_line = ""
+    for line in handle:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            size_line = stripped
+            break
+    if not size_line:
+        raise IOFormatError(f"{name}: missing size line")
+    try:
+        n_rows, n_cols, nnz = (int(tok) for tok in size_line.split())
+    except ValueError as exc:
+        raise IOFormatError(f"{name}: bad size line {size_line!r}") from exc
+    if n_rows != n_cols:
+        raise IOFormatError(
+            f"{name}: graph matrices must be square, got {n_rows}x{n_cols}"
+        )
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.ones(nnz, dtype=np.float64)
+    count = 0
+    for line in handle:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        tokens = stripped.split()
+        if field == "pattern":
+            if len(tokens) != 2:
+                raise IOFormatError(f"{name}: pattern entry needs 2 tokens: {stripped!r}")
+        elif len(tokens) != 3:
+            raise IOFormatError(f"{name}: {field} entry needs 3 tokens: {stripped!r}")
+        if count >= nnz:
+            raise IOFormatError(f"{name}: more entries than declared nnz={nnz}")
+        rows[count] = int(tokens[0]) - 1
+        cols[count] = int(tokens[1]) - 1
+        if field != "pattern":
+            vals[count] = float(tokens[2])
+        count += 1
+    if count != nnz:
+        raise IOFormatError(f"{name}: declared nnz={nnz} but read {count} entries")
+
+    if symmetry == "symmetric":
+        mirror = rows != cols
+        rows, cols, vals = (
+            np.concatenate([rows, cols[mirror]]),
+            np.concatenate([cols, rows[mirror]]),
+            np.concatenate([vals, vals[mirror]]),
+        )
+
+    if field == "integer":
+        vals = vals.astype(np.int64)
+    coo = COOMatrix((n_rows, n_cols), rows, cols, vals).deduplicated("last")
+    return Graph(coo)
+
+
+def write_mtx(graph: Graph, path: str | Path, *, field: str = "real") -> None:
+    """Write a graph as a MatrixMarket ``general`` coordinate file."""
+    if field not in _VALID_FIELDS:
+        raise IOFormatError(f"unsupported field {field!r}")
+    path = Path(path)
+    coo = graph.edges
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        handle.write("% written by repro (GraphMat reproduction)\n")
+        handle.write(f"{graph.n_vertices} {graph.n_vertices} {coo.nnz}\n")
+        for k in range(coo.nnz):
+            r, c = int(coo.rows[k]) + 1, int(coo.cols[k]) + 1
+            if field == "pattern":
+                handle.write(f"{r} {c}\n")
+            elif field == "integer":
+                handle.write(f"{r} {c} {int(coo.vals[k])}\n")
+            else:
+                handle.write(f"{r} {c} {float(coo.vals[k]):.17g}\n")
+
+
+def read_edge_list(
+    path: str | Path,
+    *,
+    weighted: bool = False,
+    comment: str = "#",
+    n_vertices: int | None = None,
+) -> Graph:
+    """Read a whitespace-separated edge list (``u v [w]`` per line)."""
+    path = Path(path)
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comment):
+                continue
+            tokens = stripped.split()
+            expected = 3 if weighted else 2
+            if len(tokens) < expected:
+                raise IOFormatError(
+                    f"{path}:{line_no}: expected {expected} tokens, got {stripped!r}"
+                )
+            srcs.append(int(tokens[0]))
+            dsts.append(int(tokens[1]))
+            if weighted:
+                weights.append(float(tokens[2]))
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    if n_vertices is None:
+        n_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+    vals = np.asarray(weights) if weighted else None
+    return Graph(
+        COOMatrix((n_vertices, n_vertices), src, dst, vals).deduplicated("last")
+    )
+
+
+def write_edge_list(graph: Graph, path: str | Path, *, weighted: bool = True) -> None:
+    """Write a graph as a whitespace-separated edge list."""
+    path = Path(path)
+    coo = graph.edges
+    with path.open("w", encoding="utf-8") as handle:
+        for k in range(coo.nnz):
+            if weighted:
+                handle.write(
+                    f"{int(coo.rows[k])} {int(coo.cols[k])} {float(coo.vals[k]):.17g}\n"
+                )
+            else:
+                handle.write(f"{int(coo.rows[k])} {int(coo.cols[k])}\n")

@@ -1,0 +1,127 @@
+"""Per-algorithm graph preprocessing (paper section 5.1).
+
+The paper's pipeline: remove self-loops always; symmetrize for BFS;
+symmetrize then keep the upper triangle (a DAG) for triangle counting;
+PageRank and SSSP run on the directed graph as-is; collaborative filtering
+requires a bipartite graph (produced directly by the generators).
+
+Each function takes and returns :class:`~repro.graph.graph.Graph` objects;
+vertex properties and active flags are *not* carried over (preprocessing
+happens before algorithm state exists).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.matrix.coo import COOMatrix
+
+
+def remove_self_loops(graph: Graph) -> Graph:
+    """Drop all (v, v) edges."""
+    return Graph(graph.edges.without_self_loops())
+
+
+def symmetrize(graph: Graph) -> Graph:
+    """Replicate edges to obtain an undirected (symmetric) graph.
+
+    Weights of coincident edge pairs are merged with ``min`` so symmetric
+    inputs stay unchanged.
+    """
+    return Graph(graph.edges.without_self_loops().symmetrized())
+
+
+def to_dag(graph: Graph) -> Graph:
+    """Triangle-counting preparation: symmetrize, then keep ``u < v`` edges.
+
+    The result is a directed acyclic orientation of the underlying
+    undirected graph; every triangle appears exactly once as
+    ``u < v < w`` with edges (u,v), (v,w), (u,w).
+    """
+    sym = graph.edges.without_self_loops().symmetrized()
+    return Graph(sym.upper_triangle(strict=True))
+
+
+def with_unit_weights(graph: Graph) -> Graph:
+    """Replace all edge weights with 1 (BFS treats graphs as unweighted)."""
+    coo = graph.edges
+    return Graph(
+        COOMatrix(coo.shape, coo.rows, coo.cols, np.ones(coo.nnz, dtype=np.int64))
+    )
+
+
+def with_random_weights(
+    graph: Graph, low: float = 1.0, high: float = 100.0, seed: int = 0
+) -> Graph:
+    """Assign uniform random weights in ``[low, high)`` (SSSP workloads)."""
+    if high <= low:
+        raise GraphError(f"need low < high, got [{low}, {high})")
+    rng = np.random.default_rng(seed)
+    coo = graph.edges
+    weights = rng.uniform(low, high, size=coo.nnz)
+    return Graph(COOMatrix(coo.shape, coo.rows, coo.cols, weights))
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Restrict to the largest weakly connected component, relabelled densely.
+
+    Used to make BFS/SSSP comparisons fair on generated graphs that may
+    contain isolated vertices.
+    """
+    n = graph.n_vertices
+    labels = _weak_components(graph)
+    if n == 0:
+        return graph
+    counts = np.bincount(labels, minlength=n)
+    keep_label = int(counts.argmax())
+    keep = labels == keep_label
+    return induced_subgraph(graph, np.flatnonzero(keep))
+
+
+def induced_subgraph(graph: Graph, vertices: np.ndarray) -> Graph:
+    """Subgraph on ``vertices``, relabelled to ``0..len(vertices)-1``."""
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size and (
+        vertices.min() < 0 or vertices.max() >= graph.n_vertices
+    ):
+        raise GraphError("subgraph vertex ids out of range")
+    remap = np.full(graph.n_vertices, -1, dtype=np.int64)
+    remap[vertices] = np.arange(vertices.shape[0], dtype=np.int64)
+    coo = graph.edges
+    keep = (remap[coo.rows] >= 0) & (remap[coo.cols] >= 0)
+    return Graph(
+        COOMatrix(
+            (int(vertices.shape[0]), int(vertices.shape[0])),
+            remap[coo.rows[keep]],
+            remap[coo.cols[keep]],
+            coo.vals[keep],
+        )
+    )
+
+
+def _weak_components(graph: Graph) -> np.ndarray:
+    """Weakly connected component label per vertex (label = min member id).
+
+    Pointer-jumping over the symmetrized edge list; O(E log V), no
+    recursion, pure numpy.
+    """
+    n = graph.n_vertices
+    labels = np.arange(n, dtype=np.int64)
+    src = np.concatenate([graph.edges.rows, graph.edges.cols])
+    dst = np.concatenate([graph.edges.cols, graph.edges.rows])
+    while True:
+        # Hook: every vertex adopts the smallest label among its neighbors.
+        proposed = labels.copy()
+        np.minimum.at(proposed, dst, labels[src])
+        # Compress: pointer-jump until labels are fixed points.
+        changed = not np.array_equal(proposed, labels)
+        labels = proposed
+        while True:
+            jumped = labels[labels]
+            if np.array_equal(jumped, labels):
+                break
+            labels = jumped
+        if not changed:
+            return labels

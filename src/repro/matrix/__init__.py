@@ -1,0 +1,21 @@
+"""Sparse matrix substrate: COO, CSR, CSC, DCSC and the 1-D partitioner."""
+
+from repro.matrix.coo import COOMatrix
+from repro.matrix.csc import CSCMatrix
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.dcsc import DCSCMatrix
+from repro.matrix.partition import (
+    PartitionedMatrix,
+    row_ranges_equal_nnz,
+    row_ranges_equal_rows,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "DCSCMatrix",
+    "PartitionedMatrix",
+    "row_ranges_equal_rows",
+    "row_ranges_equal_nnz",
+]

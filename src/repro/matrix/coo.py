@@ -1,0 +1,212 @@
+"""Coordinate-format sparse matrix (edge-triple storage).
+
+COO is the interchange format of this package: graph builders and file
+readers produce COO, and every compressed format (CSR/CSC/DCSC) is built
+from it.  A COO matrix is three parallel numpy arrays ``rows``, ``cols``,
+``vals`` plus a shape; triples may arrive unsorted and with duplicates, and
+:meth:`COOMatrix.deduplicated` resolves duplicates with a chosen policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+
+
+class COOMatrix:
+    """Sparse matrix as parallel (row, col, value) arrays.
+
+    Parameters
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    rows, cols:
+        Integer arrays of equal length with the coordinates of each entry.
+    vals:
+        Value array aligned with ``rows``/``cols``.  ``None`` means an
+        unweighted pattern matrix; it is materialized as ``int64`` ones so
+        downstream formats never special-case missing values.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray | None = None,
+    ) -> None:
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise ShapeError(f"matrix shape must be non-negative, got {shape}")
+        self.shape = (n_rows, n_cols)
+        self.rows = np.ascontiguousarray(rows, dtype=np.int64)
+        self.cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if self.rows.shape != self.cols.shape or self.rows.ndim != 1:
+            raise ShapeError(
+                f"rows/cols must be equal-length 1-D arrays, got "
+                f"{self.rows.shape} and {self.cols.shape}"
+            )
+        if vals is None:
+            vals = np.ones(self.rows.shape[0], dtype=np.int64)
+        self.vals = np.ascontiguousarray(vals)
+        if self.vals.shape[0] != self.rows.shape[0]:
+            raise ShapeError(
+                f"vals length {self.vals.shape[0]} != nnz {self.rows.shape[0]}"
+            )
+        self._validate_bounds()
+
+    def _validate_bounds(self) -> None:
+        if self.rows.size == 0:
+            return
+        if self.rows.min() < 0 or self.rows.max() >= self.shape[0]:
+            raise FormatError(
+                f"row indices out of range [0, {self.shape[0]}): "
+                f"[{self.rows.min()}, {self.rows.max()}]"
+            )
+        if self.cols.min() < 0 or self.cols.max() >= self.shape[1]:
+            raise FormatError(
+                f"col indices out of range [0, {self.shape[1]}): "
+                f"[{self.cols.min()}, {self.cols.max()}]"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return int(self.rows.shape[0])
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(
+            self.shape, self.rows.copy(), self.cols.copy(), self.vals.copy()
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """Swap rows and columns (entries are shared, not copied)."""
+        return COOMatrix(
+            (self.shape[1], self.shape[0]), self.cols, self.rows, self.vals
+        )
+
+    # ------------------------------------------------------------------
+    def sorted_by(self, order: str = "col-major") -> "COOMatrix":
+        """Return a copy sorted ``col-major`` (col, then row) or ``row-major``."""
+        if order == "col-major":
+            perm = np.lexsort((self.rows, self.cols))
+        elif order == "row-major":
+            perm = np.lexsort((self.cols, self.rows))
+        else:
+            raise ValueError(f"unknown sort order {order!r}")
+        return COOMatrix(
+            self.shape, self.rows[perm], self.cols[perm], self.vals[perm]
+        )
+
+    def deduplicated(self, policy: str = "last") -> "COOMatrix":
+        """Resolve duplicate coordinates.
+
+        ``policy`` is one of ``"last"`` (keep the final occurrence, the
+        behaviour of repeated edge insertion), ``"sum"`` (accumulate, the
+        linear-algebra convention), ``"min"`` or ``"max"``.
+        """
+        if policy not in ("last", "sum", "min", "max"):
+            raise ValueError(f"unknown dedup policy {policy!r}")
+        if self.nnz == 0:
+            return self.copy()
+        perm = np.lexsort((self.rows, self.cols))
+        r, c, v = self.rows[perm], self.cols[perm], self.vals[perm]
+        new_group = np.empty(r.shape[0], dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        starts = np.flatnonzero(new_group)
+        if starts.shape[0] == r.shape[0]:
+            return COOMatrix(self.shape, r, c, v)
+        if policy == "last":
+            ends = np.empty_like(starts)
+            ends[:-1] = starts[1:] - 1
+            ends[-1] = r.shape[0] - 1
+            return COOMatrix(self.shape, r[starts], c[starts], v[ends])
+        reducers: dict[str, Callable[..., np.ndarray]] = {
+            "sum": np.add.reduceat,
+            "min": np.minimum.reduceat,
+            "max": np.maximum.reduceat,
+        }
+        if policy not in reducers:
+            raise ValueError(f"unknown dedup policy {policy!r}")
+        reduced = reducers[policy](v, starts)
+        return COOMatrix(self.shape, r[starts], c[starts], reduced)
+
+    # ------------------------------------------------------------------
+    def select(self, mask: np.ndarray) -> "COOMatrix":
+        """Keep only the entries where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.rows.shape:
+            raise ShapeError(
+                f"mask shape {mask.shape} != nnz shape {self.rows.shape}"
+            )
+        return COOMatrix(
+            self.shape, self.rows[mask], self.cols[mask], self.vals[mask]
+        )
+
+    def without_self_loops(self) -> "COOMatrix":
+        """Drop diagonal entries (the paper's first preprocessing step)."""
+        return self.select(self.rows != self.cols)
+
+    def symmetrized(self, dedup_policy: str = "min") -> "COOMatrix":
+        """Union with the transpose (paper's BFS/TC preprocessing).
+
+        Duplicate (u, v) pairs created by the union are resolved with
+        ``dedup_policy`` (default ``min``, which keeps symmetric weights
+        symmetric).
+        """
+        if self.shape[0] != self.shape[1]:
+            raise ShapeError("symmetrization requires a square matrix")
+        rows = np.concatenate([self.rows, self.cols])
+        cols = np.concatenate([self.cols, self.rows])
+        vals = np.concatenate([self.vals, self.vals])
+        return COOMatrix(self.shape, rows, cols, vals).deduplicated(dedup_policy)
+
+    def upper_triangle(self, strict: bool = True) -> "COOMatrix":
+        """Keep entries above the diagonal (paper's TC DAG construction)."""
+        if strict:
+            return self.select(self.rows < self.cols)
+        return self.select(self.rows <= self.cols)
+
+    # ------------------------------------------------------------------
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.coo_matrix`` (testing/native baselines)."""
+        from scipy import sparse
+
+        return sparse.coo_matrix(
+            (self.vals.astype(np.float64), (self.rows, self.cols)),
+            shape=self.shape,
+        )
+
+    @classmethod
+    def from_scipy(cls, mat) -> "COOMatrix":
+        """Build from any scipy sparse matrix."""
+        coo = mat.tocoo()
+        return cls(
+            (int(coo.shape[0]), int(coo.shape[1])),
+            coo.row.astype(np.int64),
+            coo.col.astype(np.int64),
+            coo.data.copy(),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOMatrix):
+            return NotImplemented
+        a = self.deduplicated("last").sorted_by("col-major")
+        b = other.deduplicated("last").sorted_by("col-major")
+        return (
+            a.shape == b.shape
+            and np.array_equal(a.rows, b.rows)
+            and np.array_equal(a.cols, b.cols)
+            and np.array_equal(a.vals, b.vals)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("COOMatrix is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

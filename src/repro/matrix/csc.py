@@ -1,0 +1,108 @@
+"""Compressed Sparse Column matrix.
+
+The generalized SpMV of Algorithm 1 walks the *columns* of the stored
+matrix (each column holds the edges leaving one message source), so CSC is
+the natural uncompressed counterpart of DCSC.  The CombBLAS-like baseline
+uses plain CSC blocks; GraphMat's own partitions use DCSC, which compresses
+away empty columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.matrix.coo import COOMatrix
+
+
+class CSCMatrix:
+    """Sparse matrix with compressed columns (``indptr``/``indices``/``data``)."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data)
+        self.validate()
+
+    def validate(self) -> None:
+        """Check CSC structural invariants; raise FormatError on violation."""
+        n_rows, n_cols = self.shape
+        if self.indptr.shape[0] != n_cols + 1:
+            raise FormatError(
+                f"indptr length {self.indptr.shape[0]} != n_cols+1 = {n_cols + 1}"
+            )
+        if self.indptr[0] != 0:
+            raise FormatError(f"indptr must start at 0, got {self.indptr[0]}")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape[0] != nnz or self.data.shape[0] != nnz:
+            raise FormatError(
+                f"indices/data length ({self.indices.shape[0]}/"
+                f"{self.data.shape[0]}) != indptr[-1] = {nnz}"
+            )
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n_rows):
+            raise FormatError(
+                f"row indices out of range [0, {n_rows}): "
+                f"[{self.indices.min()}, {self.indices.max()}]"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, sort_within_cols: bool = True) -> "CSCMatrix":
+        """Compress a (deduplicated) COO matrix into CSC."""
+        n_rows, n_cols = coo.shape
+        if sort_within_cols:
+            perm = np.lexsort((coo.rows, coo.cols))
+        else:
+            perm = np.argsort(coo.cols, kind="stable")
+        cols = coo.cols[perm]
+        indices = coo.rows[perm]
+        data = coo.vals[perm]
+        indptr = np.zeros(n_cols + 1, dtype=np.int64)
+        np.add.at(indptr, cols + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls((n_rows, n_cols), indptr, indices, data)
+
+    def to_coo(self) -> COOMatrix:
+        cols = np.repeat(
+            np.arange(self.shape[1], dtype=np.int64), np.diff(self.indptr)
+        )
+        return COOMatrix(self.shape, self.indices.copy(), cols, self.data.copy())
+
+    # ------------------------------------------------------------------
+    def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(row_indices, values)`` of column ``j`` (views, not copies)."""
+        if not 0 <= j < self.shape[1]:
+            raise IndexError(f"column {j} out of range [0, {self.shape[1]})")
+        lo, hi = int(self.indptr[j]), int(self.indptr[j + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def column_degree(self, j: int) -> int:
+        return int(self.indptr[j + 1] - self.indptr[j])
+
+    def degrees(self) -> np.ndarray:
+        """Per-column entry counts (in-degrees when columns are sources)."""
+        return np.diff(self.indptr)
+
+    def to_scipy(self):
+        from scipy import sparse
+
+        return sparse.csc_matrix(
+            (self.data.astype(np.float64), self.indices, self.indptr),
+            shape=self.shape,
+        )
+
+    def __repr__(self) -> str:
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,116 @@
+"""Compressed Sparse Row matrix.
+
+CSR is the adjacency-list view of a graph: row ``u`` lists the out-edges of
+vertex ``u``.  The native baselines and the Galois/GraphLab-like engines
+walk graphs through this format; the GraphMat engine itself uses DCSC (see
+:mod:`repro.matrix.dcsc`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.matrix.coo import COOMatrix
+
+
+class CSRMatrix:
+    """Sparse matrix with compressed rows (``indptr``/``indices``/``data``)."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data)
+        self.validate()
+
+    def validate(self) -> None:
+        """Check the CSR structural invariants; raise FormatError on violation."""
+        n_rows, n_cols = self.shape
+        if self.indptr.shape[0] != n_rows + 1:
+            raise FormatError(
+                f"indptr length {self.indptr.shape[0]} != n_rows+1 = {n_rows + 1}"
+            )
+        if self.indptr[0] != 0:
+            raise FormatError(f"indptr must start at 0, got {self.indptr[0]}")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape[0] != nnz or self.data.shape[0] != nnz:
+            raise FormatError(
+                f"indices/data length ({self.indices.shape[0]}/"
+                f"{self.data.shape[0]}) != indptr[-1] = {nnz}"
+            )
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise FormatError(
+                f"column indices out of range [0, {n_cols}): "
+                f"[{self.indices.min()}, {self.indices.max()}]"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, sort_within_rows: bool = True) -> "CSRMatrix":
+        """Compress a (deduplicated) COO matrix into CSR."""
+        n_rows, n_cols = coo.shape
+        if sort_within_rows:
+            perm = np.lexsort((coo.cols, coo.rows))
+        else:
+            perm = np.argsort(coo.rows, kind="stable")
+        rows = coo.rows[perm]
+        indices = coo.cols[perm]
+        data = coo.vals[perm]
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls((n_rows, n_cols), indptr, indices, data)
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        return COOMatrix(self.shape, rows, self.indices.copy(), self.data.copy())
+
+    # ------------------------------------------------------------------
+    def row(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(column_indices, values)`` of row ``u`` (views, not copies)."""
+        if not 0 <= u < self.shape[0]:
+            raise IndexError(f"row {u} out of range [0, {self.shape[0]})")
+        lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_degree(self, u: int) -> int:
+        """Number of stored entries in row ``u``."""
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """Per-row entry counts (out-degrees when rows are sources)."""
+        return np.diff(self.indptr)
+
+    def rows_sorted(self) -> bool:
+        """True if column indices are ascending within every row."""
+        for u in range(self.shape[0]):
+            lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+            if hi - lo > 1 and np.any(np.diff(self.indices[lo:hi]) < 0):
+                return False
+        return True
+
+    def to_scipy(self):
+        from scipy import sparse
+
+        return sparse.csr_matrix(
+            (self.data.astype(np.float64), self.indices, self.indptr),
+            shape=self.shape,
+        )
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,67 @@
+"""Format conversions and structural utilities shared across matrix formats."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrix.coo import COOMatrix
+from repro.matrix.csc import CSCMatrix
+from repro.matrix.csr import CSRMatrix
+from repro.matrix.dcsc import DCSCMatrix
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    return CSRMatrix.from_coo(coo)
+
+
+def coo_to_csc(coo: COOMatrix) -> CSCMatrix:
+    return CSCMatrix.from_coo(coo)
+
+
+def coo_to_dcsc(coo: COOMatrix) -> DCSCMatrix:
+    return DCSCMatrix.from_coo(coo)
+
+
+def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    return CSCMatrix.from_coo(csr.to_coo())
+
+
+def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    return CSRMatrix.from_coo(csc.to_coo())
+
+
+def transpose_csr(csr: CSRMatrix) -> CSRMatrix:
+    """Transpose a CSR matrix (returns CSR of the transpose)."""
+    return CSRMatrix.from_coo(csr.to_coo().transpose())
+
+
+def matrices_equal(a, b) -> bool:
+    """Structural equality across any two matrix formats."""
+    coo_a = a if isinstance(a, COOMatrix) else a.to_coo()
+    coo_b = b if isinstance(b, COOMatrix) else b.to_coo()
+    return coo_a == coo_b
+
+
+def row_nnz(coo: COOMatrix) -> np.ndarray:
+    """Per-row non-zero counts of a COO matrix."""
+    counts = np.zeros(coo.shape[0], dtype=np.int64)
+    np.add.at(counts, coo.rows, 1)
+    return counts
+
+
+def col_nnz(coo: COOMatrix) -> np.ndarray:
+    """Per-column non-zero counts of a COO matrix."""
+    counts = np.zeros(coo.shape[1], dtype=np.int64)
+    np.add.at(counts, coo.cols, 1)
+    return counts
+
+
+def dense_from(matrix) -> np.ndarray:
+    """Densify any matrix format into a float64 numpy array (tests only)."""
+    coo = matrix if isinstance(matrix, COOMatrix) else matrix.to_coo()
+    out = np.zeros(coo.shape, dtype=np.float64)
+    # Later duplicates overwrite earlier ones, matching dedup policy "last"
+    # after a stable col-major sort.
+    ordered = coo.deduplicated("last")
+    out[ordered.rows, ordered.cols] = ordered.vals.astype(np.float64)
+    return out

@@ -1,0 +1,36 @@
+"""Performance substrate: event counters, machine model, scaling simulation."""
+
+from repro.perf.counters import EventCounters
+from repro.perf.machine import (
+    DEFAULT_MACHINE,
+    MachineModel,
+    PerfReport,
+    derive_report,
+    graph_working_set_bytes,
+)
+from repro.perf.parallel_model import (
+    ScalingProfile,
+    makespan,
+    repartition_units,
+    simulate_run_time,
+    simulate_superstep_time,
+    speedup_curve,
+)
+from repro.perf.timers import Timer, time_call
+
+__all__ = [
+    "EventCounters",
+    "MachineModel",
+    "PerfReport",
+    "DEFAULT_MACHINE",
+    "derive_report",
+    "graph_working_set_bytes",
+    "ScalingProfile",
+    "makespan",
+    "simulate_superstep_time",
+    "simulate_run_time",
+    "speedup_curve",
+    "repartition_units",
+    "Timer",
+    "time_call",
+]

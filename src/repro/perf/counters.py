@@ -1,0 +1,85 @@
+"""Abstract event counters: the PMU substitute for Figure 6.
+
+The paper reads hardware counters (instructions, stall cycles, read
+bandwidth, IPC) "collected for the duration of the application run".  We
+cannot read PMUs portably from Python, so each engine in this package
+counts *abstract events* during real execution:
+
+- ``user_calls`` — Python-level function/dispatch boundaries crossed
+  (per-edge user-function calls in scalar engines, per-kernel calls in
+  fused ones).  The analogue of instruction overhead from un-inlined
+  user functions.
+- ``element_ops`` — per-element arithmetic actually performed.
+- ``random_accesses`` — scattered reads/writes (property gathers,
+  result scatters, hash probes): the events that become memory stalls.
+- ``sequential_bytes`` — streamed bytes (edge arrays): the events that
+  become useful bandwidth.
+- ``allocations`` — temporary buffers created (message objects, copies):
+  the "redundant copying of data" the paper calls out in GraphLab.
+- ``messages`` — vertex-program messages materialized.
+
+:mod:`repro.perf.machine` converts these counts into the four Figure 6
+metrics with one fixed machine model shared by all frameworks, so
+cross-framework differences come only from the measured event counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class EventCounters:
+    """Mutable event-count accumulator (one per measured run)."""
+
+    user_calls: int = 0
+    element_ops: int = 0
+    random_accesses: int = 0
+    sequential_bytes: int = 0
+    allocations: int = 0
+    messages: int = 0
+
+    def record(
+        self,
+        user_calls: int = 0,
+        element_ops: int = 0,
+        random_accesses: int = 0,
+        sequential_bytes: int = 0,
+        allocations: int = 0,
+        messages: int = 0,
+    ) -> None:
+        """Add events (engines call this from their hot paths)."""
+        self.user_calls += user_calls
+        self.element_ops += element_ops
+        self.random_accesses += random_accesses
+        self.sequential_bytes += sequential_bytes
+        self.allocations += allocations
+        self.messages += messages
+
+    def merge(self, other: "EventCounters") -> "EventCounters":
+        """Accumulate another counter set into this one (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "EventCounters":
+        return EventCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    @property
+    def total_events(self) -> int:
+        return (
+            self.user_calls
+            + self.element_ops
+            + self.random_accesses
+            + self.allocations
+            + self.messages
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EventCounters({parts})"

@@ -1,0 +1,119 @@
+"""Machine model: converts abstract events into Figure 6 metrics.
+
+One fixed model — loosely shaped like the paper's Xeon E5-2697 v2 (30 MB
+L3, ~60 GB/s read bandwidth, ~200-cycle memory latency) — is shared by
+every framework, so the *relative* Figure 6 numbers are determined
+entirely by the event counts each engine actually generated.  The absolute
+values are not meaningful and are never reported as such.
+
+Conversion rules (documented in DESIGN.md's substitution table):
+
+- instructions  = CALL_COST * user_calls + element_ops
+                  + RANDOM_COST * random_accesses + ALLOC_COST * allocations
+  (a user-function call that the compiler could not inline costs dispatch
+  instructions; an allocation costs allocator instructions),
+- stall cycles  = random_accesses * miss_rate * MISS_LATENCY
+                  + allocations * ALLOC_STALL,
+  where ``miss_rate`` grows with the working-set : cache ratio,
+- cycles        = instructions / BASE_IPC + stall_cycles,
+- read bytes    = sequential_bytes + CACHE_LINE * random_accesses * miss_rate,
+- bandwidth     = read bytes / (cycles / FREQUENCY),
+- IPC           = instructions / cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.counters import EventCounters
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost constants of the modelled machine (one global instance)."""
+
+    call_cost: float = 30.0  # instructions per non-inlined call boundary
+    random_cost: float = 4.0  # address-generation instructions per access
+    alloc_cost: float = 60.0  # allocator instructions per allocation
+    alloc_stall: float = 40.0  # allocator-induced stall cycles
+    miss_latency: float = 200.0  # cycles per missed random access
+    base_ipc: float = 2.0  # issue rate when not stalled
+    cache_bytes: int = 30 * 1024 * 1024  # 30 MB L3
+    cache_line: int = 64
+    frequency_hz: float = 2.7e9
+    min_miss_rate: float = 0.02
+
+    def miss_rate(self, working_set_bytes: int) -> float:
+        """Fraction of random accesses that miss the last-level cache."""
+        if working_set_bytes <= 0:
+            return self.min_miss_rate
+        ratio = self.cache_bytes / float(working_set_bytes)
+        return max(self.min_miss_rate, min(1.0, 1.0 - ratio))
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """The four Figure 6 metrics for one run."""
+
+    instructions: float
+    stall_cycles: float
+    cycles: float
+    read_bytes: float
+    read_bandwidth: float  # bytes per modelled second
+    ipc: float
+
+    def normalized_to(self, base: "PerfReport") -> dict[str, float]:
+        """Ratios vs a baseline run (Figure 6 normalizes to GraphMat)."""
+
+        def ratio(a: float, b: float) -> float:
+            return a / b if b else float("inf")
+
+        return {
+            "instructions": ratio(self.instructions, base.instructions),
+            "stall_cycles": ratio(self.stall_cycles, base.stall_cycles),
+            "read_bandwidth": ratio(self.read_bandwidth, base.read_bandwidth),
+            "ipc": ratio(self.ipc, base.ipc),
+        }
+
+
+DEFAULT_MACHINE = MachineModel()
+
+
+def derive_report(
+    counters: EventCounters,
+    working_set_bytes: int,
+    machine: MachineModel = DEFAULT_MACHINE,
+) -> PerfReport:
+    """Convert event counts into Figure 6 metrics under ``machine``."""
+    miss = machine.miss_rate(working_set_bytes)
+    instructions = (
+        machine.call_cost * counters.user_calls
+        + counters.element_ops
+        + machine.random_cost * counters.random_accesses
+        + machine.alloc_cost * counters.allocations
+    )
+    stall_cycles = (
+        counters.random_accesses * miss * machine.miss_latency
+        + counters.allocations * machine.alloc_stall
+    )
+    cycles = instructions / machine.base_ipc + stall_cycles
+    read_bytes = (
+        counters.sequential_bytes
+        + machine.cache_line * counters.random_accesses * miss
+    )
+    seconds = cycles / machine.frequency_hz if cycles else 0.0
+    bandwidth = read_bytes / seconds if seconds else 0.0
+    ipc = instructions / cycles if cycles else 0.0
+    return PerfReport(
+        instructions=instructions,
+        stall_cycles=stall_cycles,
+        cycles=cycles,
+        read_bytes=read_bytes,
+        read_bandwidth=bandwidth,
+        ipc=ipc,
+    )
+
+
+def graph_working_set_bytes(n_vertices: int, n_edges: int) -> int:
+    """Rough resident bytes of a graph computation (CSR + properties)."""
+    return 16 * n_edges + 24 * n_vertices

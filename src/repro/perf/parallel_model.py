@@ -1,0 +1,162 @@
+"""Simulated multicore execution: the Figure 5/7 scaling substitute.
+
+CPython's GIL makes real thread scaling unmeasurable, so (per the
+substitution rule in DESIGN.md) scaling is *simulated* from measured work:
+the serial engines record how much work each schedulable unit performed
+(edges per matrix partition for GraphMat, per-vertex degrees for the
+task/vertex engines, per-grid-block nnz for CombBLAS), and this module
+schedules those real work distributions onto T model cores.
+
+The simulated time of one superstep on T threads is::
+
+    time(T) = max(makespan(T), bytes / BW(T)) + sync_cost(T)
+
+- ``makespan(T)`` — longest per-thread work under the framework's
+  scheduling policy (static contiguous assignment vs dynamic greedy),
+- ``BW(T)`` — shared read bandwidth, saturating as
+  ``BW1 * T / (1 + beta * (T - 1))`` (the "shared resources like memory
+  bandwidth" the paper blames for sub-linear scaling),
+- ``sync_cost(T)`` — per-superstep barrier/communication cost growing as
+  ``log2(T)`` (BSP barrier, or allreduce for the 2-D CombBLAS layout).
+
+Framework-specific structure enters only through *observable* mechanisms:
+the work-unit decomposition, the scheduling policy, CombBLAS's square
+process grid constraint, and per-framework sync constants (documented in
+:mod:`repro.frameworks`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class ScalingProfile:
+    """How a framework decomposes and schedules parallel work."""
+
+    name: str
+    #: "dynamic" = greedy longest-processing-time onto least-loaded thread;
+    #: "static" = contiguous equal-count assignment in unit order.
+    schedule: str = "dynamic"
+    #: Per-superstep synchronization cost, in work units, added per thread
+    #: doubling (barrier latency, lock handshakes, MPI allreduce).
+    sync_units: float = 0.0
+    #: Per-work-unit scheduling overhead in work units (task pop cost).
+    per_unit_overhead: float = 0.0
+    #: Restrict usable threads to perfect squares (CombBLAS's 2-D grid:
+    #: "the total number of processes to be a square").
+    square_processes_only: bool = False
+    #: Bandwidth saturation coefficient beta (0 = perfect BW scaling).
+    bandwidth_beta: float = 0.05
+    #: Fraction of superstep work that is bandwidth-bound streaming.
+    streaming_fraction: float = 0.5
+
+    def usable_threads(self, n_threads: int) -> int:
+        """Threads the framework can actually occupy."""
+        if not self.square_processes_only:
+            return n_threads
+        root = int(math.isqrt(n_threads))
+        return max(1, root * root)
+
+
+def makespan(unit_costs: np.ndarray, n_threads: int, schedule: str) -> float:
+    """Longest per-thread load for the given assignment policy."""
+    unit_costs = np.asarray(unit_costs, dtype=np.float64)
+    if n_threads < 1:
+        raise BenchmarkError(f"n_threads must be >= 1, got {n_threads}")
+    if unit_costs.size == 0:
+        return 0.0
+    if n_threads == 1:
+        return float(unit_costs.sum())
+    if schedule == "static":
+        # Contiguous equal-count chunks, in unit order (OpenMP static).
+        bounds = np.linspace(0, unit_costs.size, n_threads + 1).astype(int)
+        loads = [
+            float(unit_costs[bounds[t] : bounds[t + 1]].sum())
+            for t in range(n_threads)
+        ]
+        return max(loads)
+    if schedule == "dynamic":
+        # Greedy LPT: sort descending, place on the least-loaded thread.
+        loads = np.zeros(n_threads, dtype=np.float64)
+        for cost in np.sort(unit_costs)[::-1]:
+            loads[loads.argmin()] += cost
+        return float(loads.max())
+    raise BenchmarkError(f"unknown schedule {schedule!r}")
+
+
+def simulate_superstep_time(
+    unit_costs: np.ndarray,
+    n_threads: int,
+    profile: ScalingProfile,
+) -> float:
+    """Simulated time (in work units) of one superstep on T threads."""
+    threads = profile.usable_threads(n_threads)
+    costs = np.asarray(unit_costs, dtype=np.float64)
+    if profile.per_unit_overhead:
+        costs = costs + profile.per_unit_overhead
+    compute = makespan(costs, threads, profile.schedule)
+    total = float(costs.sum())
+    bw_scale = threads / (1.0 + profile.bandwidth_beta * (threads - 1))
+    streamed = total * profile.streaming_fraction / bw_scale
+    time = max(compute, streamed)
+    if threads > 1 and profile.sync_units:
+        time += profile.sync_units * math.log2(threads)
+    return time
+
+
+def simulate_run_time(
+    per_iteration_units: list[np.ndarray],
+    n_threads: int,
+    profile: ScalingProfile,
+) -> float:
+    """Simulated total time of a run given per-superstep work profiles."""
+    return sum(
+        simulate_superstep_time(units, n_threads, profile)
+        for units in per_iteration_units
+    )
+
+
+def speedup_curve(
+    per_iteration_units: list[np.ndarray],
+    thread_counts: list[int],
+    profile: ScalingProfile,
+) -> dict[int, float]:
+    """Speedup over single-thread simulated time for each thread count.
+
+    This is the Figure 5 series: ``speedup(T) = time(1) / time(T)`` with
+    both times coming from the same measured work distributions.
+    """
+    base = simulate_run_time(per_iteration_units, 1, profile)
+    curve: dict[int, float] = {}
+    for t in thread_counts:
+        time_t = simulate_run_time(per_iteration_units, t, profile)
+        curve[t] = base / time_t if time_t else float("inf")
+    return curve
+
+
+def repartition_units(unit_costs: np.ndarray, n_partitions: int) -> np.ndarray:
+    """Re-split a cost distribution into ``n_partitions`` contiguous bins.
+
+    Used to model "number of graph partitions equals number of threads"
+    (load balancing off) versus over-partitioning: the measured per-edge
+    work is conserved, only the schedulable granularity changes.
+    """
+    unit_costs = np.asarray(unit_costs, dtype=np.float64)
+    if n_partitions < 1:
+        raise BenchmarkError(f"n_partitions must be >= 1, got {n_partitions}")
+    if unit_costs.size == 0:
+        return np.zeros(n_partitions, dtype=np.float64)
+    bounds = np.linspace(0, unit_costs.size, n_partitions + 1).astype(int)
+    return np.asarray(
+        [
+            unit_costs[bounds[p] : bounds[p + 1]].sum()
+            for p in range(n_partitions)
+        ],
+        dtype=np.float64,
+    )

@@ -1,0 +1,32 @@
+"""Small timing utilities shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    seconds: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_call(fn, *args, repeats: int = 1, **kwargs) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time of ``fn(*args, **kwargs)`` plus result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result

@@ -1,0 +1,236 @@
+"""Packed bitvector used to track valid entries of sparse vectors.
+
+The paper (section 4.4.2) stores sparse vectors as "a bitvector for storing
+valid indices and a constant (number of vertices) sized array with values
+stored only at the valid indices".  This module provides that bitvector:
+a fixed-length sequence of bits packed into 64-bit words, supporting O(1)
+test/set/clear, word-parallel boolean algebra, popcount, and iteration over
+set positions.
+
+The implementation is numpy-backed so that bulk operations (union,
+intersection, clearing, conversion to index arrays) run at C speed; the
+per-bit operations exist for the scalar engine paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+_WORD_BITS = 64
+
+
+def _word_count(n_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``n_bits`` bits."""
+    return (n_bits + _WORD_BITS - 1) // _WORD_BITS
+
+
+class Bitvector:
+    """Fixed-length bitvector packed into ``uint64`` words.
+
+    Parameters
+    ----------
+    length:
+        Number of addressable bits.  Bits beyond ``length`` inside the last
+        word are always kept at zero so popcount and iteration stay exact.
+    """
+
+    __slots__ = ("_length", "_words")
+
+    def __init__(self, length: int) -> None:
+        if length < 0:
+            raise ShapeError(f"bitvector length must be >= 0, got {length}")
+        self._length = int(length)
+        self._words = np.zeros(_word_count(self._length), dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_indices(cls, length: int, indices: Iterable[int]) -> "Bitvector":
+        """Build a bitvector of ``length`` bits with ``indices`` set."""
+        bv = cls(length)
+        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        if idx.size:
+            bv.set_many(idx)
+        return bv
+
+    @classmethod
+    def from_bool_array(cls, mask: np.ndarray) -> "Bitvector":
+        """Build a bitvector from a boolean numpy array."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 1:
+            raise ShapeError(f"mask must be 1-D, got ndim={mask.ndim}")
+        bv = cls(mask.shape[0])
+        set_positions = np.flatnonzero(mask)
+        if set_positions.size:
+            bv.set_many(set_positions)
+        return bv
+
+    def copy(self) -> "Bitvector":
+        """Return an independent copy."""
+        out = Bitvector(self._length)
+        out._words[:] = self._words
+        return out
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def words(self) -> np.ndarray:
+        """The underlying packed word array (read-mostly; mutate with care)."""
+        return self._words
+
+    # ------------------------------------------------------------------
+    # Single-bit operations (scalar engine path)
+    # ------------------------------------------------------------------
+    def _check_index(self, i: int) -> int:
+        if not 0 <= i < self._length:
+            raise IndexError(f"bit index {i} out of range [0, {self._length})")
+        return int(i)
+
+    def test(self, i: int) -> bool:
+        """Return True if bit ``i`` is set."""
+        i = self._check_index(i)
+        word = self._words[i >> 6]
+        return bool((int(word) >> (i & 63)) & 1)
+
+    def set(self, i: int) -> None:
+        """Set bit ``i``."""
+        i = self._check_index(i)
+        self._words[i >> 6] |= np.uint64(1 << (i & 63))
+
+    def clear_bit(self, i: int) -> None:
+        """Clear bit ``i``."""
+        i = self._check_index(i)
+        self._words[i >> 6] &= np.uint64(~(1 << (i & 63)) & 0xFFFFFFFFFFFFFFFF)
+
+    def __contains__(self, i: object) -> bool:
+        if not isinstance(i, (int, np.integer)):
+            return False
+        if not 0 <= int(i) < self._length:
+            return False
+        return self.test(int(i))
+
+    # ------------------------------------------------------------------
+    # Bulk operations (vectorized engine path)
+    # ------------------------------------------------------------------
+    def set_many(self, indices: np.ndarray) -> None:
+        """Set all bits listed in ``indices`` (duplicates allowed)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self._length:
+            raise IndexError(
+                f"bit indices out of range [0, {self._length}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        words = (idx >> 6).astype(np.int64)
+        bits = np.left_shift(np.uint64(1), (idx & 63).astype(np.uint64))
+        np.bitwise_or.at(self._words, words, bits)
+
+    def clear_many(self, indices: np.ndarray) -> None:
+        """Clear all bits listed in ``indices``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self._length:
+            raise IndexError(f"bit indices out of range [0, {self._length})")
+        words = (idx >> 6).astype(np.int64)
+        bits = np.left_shift(np.uint64(1), (idx & 63).astype(np.uint64))
+        np.bitwise_and.at(self._words, words, np.bitwise_not(bits))
+
+    def clear(self) -> None:
+        """Clear every bit."""
+        self._words[:] = 0
+
+    def fill(self) -> None:
+        """Set every bit (respecting the length boundary)."""
+        self._words[:] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        self._mask_tail()
+
+    def _mask_tail(self) -> None:
+        """Zero the bits of the last word beyond ``length``."""
+        tail = self._length & 63
+        if tail and self._words.size:
+            keep = np.uint64((1 << tail) - 1)
+            self._words[-1] &= keep
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        # numpy >= 1.17 lacks a vectorized popcount for uint64 pre-2.0 in some
+        # builds, so go through the canonical SWAR via unpackbits on bytes.
+        as_bytes = self._words.view(np.uint8)
+        return int(np.unpackbits(as_bytes).sum())
+
+    def any(self) -> bool:
+        """True if at least one bit is set."""
+        return bool(self._words.any())
+
+    def to_bool_array(self) -> np.ndarray:
+        """Expand into a boolean numpy array of shape ``(length,)``."""
+        if self._length == 0:
+            return np.zeros(0, dtype=bool)
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return bits[: self._length].astype(bool)
+
+    def to_indices(self) -> np.ndarray:
+        """Sorted int64 array of set positions."""
+        return np.flatnonzero(self.to_bool_array()).astype(np.int64)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over set positions in increasing order."""
+        return iter(self.to_indices().tolist())
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+    def _check_same_length(self, other: "Bitvector") -> None:
+        if self._length != other._length:
+            raise ShapeError(
+                f"bitvector length mismatch: {self._length} vs {other._length}"
+            )
+
+    def union_update(self, other: "Bitvector") -> None:
+        """In-place union (``self |= other``)."""
+        self._check_same_length(other)
+        np.bitwise_or(self._words, other._words, out=self._words)
+
+    def intersection_update(self, other: "Bitvector") -> None:
+        """In-place intersection (``self &= other``)."""
+        self._check_same_length(other)
+        np.bitwise_and(self._words, other._words, out=self._words)
+
+    def difference_update(self, other: "Bitvector") -> None:
+        """In-place difference (``self &= ~other``)."""
+        self._check_same_length(other)
+        np.bitwise_and(self._words, np.bitwise_not(other._words), out=self._words)
+
+    def __or__(self, other: "Bitvector") -> "Bitvector":
+        out = self.copy()
+        out.union_update(other)
+        return out
+
+    def __and__(self, other: "Bitvector") -> "Bitvector":
+        out = self.copy()
+        out.intersection_update(other)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitvector):
+            return NotImplemented
+        return self._length == other._length and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("Bitvector is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Bitvector(length={self._length}, set={self.popcount()})"

@@ -1,0 +1,97 @@
+"""Dense vertex-property storage.
+
+Vertex properties in GraphMat live in a dense, vertex-indexed array
+(``G.vertex_property`` in the paper's appendix).  :class:`PropertyArray`
+wraps that array together with its :class:`~repro.vector.sparse_vector.ValueSpec`
+so engines can copy, compare and update properties without caring whether
+an entry is a float, a latent-feature vector or a Python object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.vector.sparse_vector import FLOAT64, ValueSpec
+
+
+def _entries_equal(a, b, spec: ValueSpec) -> bool:
+    """Equality of two property entries under ``spec``.
+
+    Numeric entries compare exactly (the engine's activity rule in
+    Algorithm 2 line 12 is exact inequality); object entries fall back to
+    Python ``==`` with an identity fast path.
+    """
+    if spec.dtype == object:
+        if a is b:
+            return True
+        result = a == b
+        if isinstance(result, np.ndarray):
+            return bool(result.all())
+        return bool(result)
+    if spec.is_scalar:
+        return bool(a == b)
+    return bool(np.array_equal(a, b))
+
+
+class PropertyArray:
+    """Dense per-vertex property storage with spec-aware helpers."""
+
+    def __init__(self, length: int, spec: ValueSpec = FLOAT64) -> None:
+        if length < 0:
+            raise ShapeError(f"property array length must be >= 0, got {length}")
+        self.length = int(length)
+        self.spec = spec
+        self.data = spec.allocate(self.length)
+
+    @classmethod
+    def from_array(cls, data: np.ndarray, spec: ValueSpec | None = None) -> "PropertyArray":
+        """Wrap an existing array (no copy) as a property array."""
+        data = np.asarray(data)
+        if spec is None:
+            shape = tuple(int(s) for s in data.shape[1:])
+            spec = ValueSpec(data.dtype, shape)
+        expected = (data.shape[0], *spec.shape)
+        if tuple(data.shape) != expected:
+            raise ShapeError(
+                f"data shape {tuple(data.shape)} does not match spec shape {expected}"
+            )
+        out = cls(0, spec)
+        out.length = int(data.shape[0])
+        out.data = data
+        return out
+
+    def fill(self, value) -> None:
+        """Set every vertex property to ``value``.
+
+        For object specs the value is *shared*, matching the paper's
+        ``setAllVertexproperty``; callers that need per-vertex instances
+        should assign in a loop.
+        """
+        self.data[...] = value
+
+    def get(self, v: int):
+        return self.data[v]
+
+    def set(self, v: int, value) -> None:
+        self.data[v] = value
+
+    def entries_equal(self, v: int, other_value) -> bool:
+        """True if vertex ``v``'s current property equals ``other_value``."""
+        return _entries_equal(self.data[v], other_value, self.spec)
+
+    def copy(self) -> "PropertyArray":
+        out = PropertyArray(self.length, self.spec)
+        if self.spec.dtype == object:
+            # Shallow-copy the references; entries themselves are treated as
+            # immutable by well-behaved programs (apply returns new objects).
+            out.data[...] = self.data
+        else:
+            out.data[...] = self.data
+        return out
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return f"PropertyArray(length={self.length}, spec={self.spec!r})"

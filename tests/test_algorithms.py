@@ -1,0 +1,280 @@
+"""Algorithm correctness vs independent references (networkx / scipy)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse import csgraph
+
+from repro.algorithms import (
+    in_degrees_via_spmv,
+    out_degrees_via_spmv,
+    run_bfs,
+    run_collaborative_filtering,
+    run_connected_components,
+    run_pagerank,
+    run_sssp,
+    run_triangle_count,
+)
+from repro.core.options import EngineOptions
+from repro.graph.generators import (
+    BipartiteSpec,
+    bipartite_rating_graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    figure3_graph,
+    gnm_random_graph,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.graph.preprocess import symmetrize, to_dag, with_random_weights
+
+from tests.conftest import as_networkx
+
+PATHS = [
+    EngineOptions(use_bitvector=False, fused=False),
+    EngineOptions(use_bitvector=True, fused=False),
+    EngineOptions(use_bitvector=True, fused=True),
+]
+PATH_IDS = ["naive", "bitvector", "fused"]
+
+
+class TestDegrees:
+    def test_figure1(self):
+        graph = figure1_graph()
+        assert in_degrees_via_spmv(graph).tolist() == [1.0, 1.0, 2.0, 2.0]
+        assert out_degrees_via_spmv(graph).tolist() == [3.0, 1.0, 1.0, 1.0]
+
+    def test_star(self):
+        graph = star_graph(5, outward=True)
+        assert in_degrees_via_spmv(graph).tolist() == [0.0] + [1.0] * 5
+        assert out_degrees_via_spmv(graph).tolist() == [5.0] + [0.0] * 5
+
+
+class TestPageRank:
+    def test_cycle_fixed_point(self):
+        result = run_pagerank(cycle_graph(7), max_iterations=20)
+        assert np.allclose(result.ranks, 1.0)
+
+    def test_path_closed_form(self):
+        # Head of a 3-path keeps rank 1; each next vertex gets
+        # r + (1-r) * previous.
+        r = 0.15
+        result = run_pagerank(path_graph(3), r=r, max_iterations=50)
+        expected1 = r + (1 - r) * 1.0
+        expected2 = r + (1 - r) * expected1
+        assert result.ranks[0] == pytest.approx(1.0)
+        assert result.ranks[1] == pytest.approx(expected1)
+        assert result.ranks[2] == pytest.approx(expected2)
+
+    @pytest.mark.parametrize("options", PATHS, ids=PATH_IDS)
+    def test_paths_agree(self, options, rmat_small):
+        baseline = run_pagerank(rmat_small, max_iterations=5).ranks
+        got = run_pagerank(rmat_small, max_iterations=5, options=options).ranks
+        assert np.allclose(got, baseline)
+
+    def test_matches_power_iteration_reference(self, rmat_small):
+        graph = rmat_small
+        result = run_pagerank(graph, max_iterations=8)
+        # Independent dense power iteration with identical conventions.
+        n = graph.n_vertices
+        dense = np.zeros((n, n))
+        coo = graph.edges
+        dense[coo.rows, coo.cols] = 1.0
+        out_deg = dense.sum(axis=1)
+        inv = np.divide(1.0, out_deg, out=np.zeros(n), where=out_deg > 0)
+        has_in = dense.sum(axis=0) > 0
+        ranks = np.ones(n)
+        for _ in range(8):
+            sums = dense.T @ (ranks * inv)
+            ranks = np.where(has_in, 0.15 + 0.85 * sums, ranks)
+        assert np.allclose(result.ranks, ranks)
+
+    def test_convergence_mode_stops_early(self, rmat_small):
+        result = run_pagerank(
+            rmat_small, max_iterations=500, tolerance=1e-8
+        )
+        assert result.stats.converged
+        assert result.iterations < 500
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            run_pagerank(cycle_graph(3), r=1.5)
+
+
+class TestBFS:
+    @pytest.mark.parametrize("options", PATHS, ids=PATH_IDS)
+    def test_matches_networkx(self, options, rmat_sym):
+        result = run_bfs(rmat_sym, 0, options=options)
+        expected = nx.single_source_shortest_path_length(
+            as_networkx(rmat_sym), 0
+        )
+        for v in range(rmat_sym.n_vertices):
+            if v in expected:
+                assert result.distances[v] == expected[v]
+            else:
+                assert np.isinf(result.distances[v])
+
+    def test_unreachable_stay_infinite(self):
+        graph = path_graph(4)  # directed 0->1->2->3
+        result = run_bfs(graph, 2)
+        assert result.distances.tolist() == [np.inf, np.inf, 0.0, 1.0]
+        assert result.reached == 2
+        assert result.max_level == 1
+
+    def test_root_only_graph(self):
+        graph = star_graph(3, outward=False)  # leaves point at hub
+        result = run_bfs(graph, 0)
+        assert result.distances[0] == 0.0
+        assert result.reached == 1
+
+
+class TestSSSP:
+    def test_figure3(self):
+        result = run_sssp(figure3_graph(), 0)
+        assert result.distances.tolist() == [0.0, 1.0, 2.0, 2.0, 4.0]
+
+    @pytest.mark.parametrize("options", PATHS, ids=PATH_IDS)
+    def test_matches_scipy_dijkstra(self, options, rmat_weighted):
+        result = run_sssp(rmat_weighted, 0, options=options)
+        expected = csgraph.dijkstra(
+            rmat_weighted.edges.to_scipy().tocsr(), indices=0
+        )
+        assert np.allclose(result.distances, expected, equal_nan=True)
+
+    def test_weighted_path(self):
+        graph = path_graph(4, weighted=True)  # weights 1, 2, 3
+        result = run_sssp(graph, 0)
+        assert result.distances.tolist() == [0.0, 1.0, 3.0, 6.0]
+
+
+class TestTriangleCount:
+    def test_k4_has_four(self):
+        assert run_triangle_count(to_dag(complete_graph(4))).total == 4
+
+    def test_k5_has_ten(self):
+        assert run_triangle_count(to_dag(complete_graph(5))).total == 10
+
+    def test_cycle_has_none(self):
+        assert run_triangle_count(to_dag(cycle_graph(5))).total == 0
+
+    @pytest.mark.parametrize("options", PATHS, ids=PATH_IDS)
+    def test_matches_networkx(self, options, rmat_small):
+        dag = to_dag(rmat_small)
+        got = run_triangle_count(dag, options=options).total
+        undirected = as_networkx(rmat_small, directed=False)
+        expected = sum(nx.triangles(undirected).values()) // 3
+        assert got == expected
+
+    def test_per_vertex_counts_sum(self, rmat_small):
+        result = run_triangle_count(to_dag(rmat_small))
+        assert result.per_vertex.sum() == result.total
+
+
+class TestCollaborativeFiltering:
+    def test_rmse_decreases(self, bipartite_small):
+        graph, n_users = bipartite_small
+        result = run_collaborative_filtering(
+            graph, n_users, k=4, gamma=0.01, lam=0.01, iterations=10, seed=3
+        )
+        assert result.rmse_history[-1] < result.rmse_history[0]
+        assert result.final_rmse == result.rmse_history[-1]
+
+    def test_factor_shapes(self, bipartite_small):
+        graph, n_users = bipartite_small
+        result = run_collaborative_filtering(
+            graph, n_users, k=6, iterations=2
+        )
+        assert result.user_factors.shape == (n_users, 6)
+        assert result.item_factors.shape == (
+            graph.n_vertices - n_users,
+            6,
+        )
+
+    @pytest.mark.parametrize("options", PATHS[1:], ids=PATH_IDS[1:])
+    def test_paths_agree(self, options, bipartite_small):
+        graph, n_users = bipartite_small
+        baseline = run_collaborative_filtering(
+            graph, n_users, k=3, iterations=3, seed=5
+        ).factors
+        got = run_collaborative_filtering(
+            graph, n_users, k=3, iterations=3, seed=5, options=options
+        ).factors
+        assert np.allclose(got, baseline)
+
+    def test_matches_dense_gradient_descent(self, bipartite_small):
+        """One engine GD step equals the dense matrix GD update."""
+        graph, n_users = bipartite_small
+        k, gamma, lam, seed = 3, 0.005, 0.02, 9
+        result = run_collaborative_filtering(
+            graph, n_users, k=k, gamma=gamma, lam=lam, iterations=1, seed=seed
+        )
+        rng = np.random.default_rng(seed)
+        factors = rng.uniform(0.0, 0.1, size=(graph.n_vertices, k))
+        coo = graph.edges
+        errors = coo.vals - np.einsum(
+            "ij,ij->i", factors[coo.rows], factors[coo.cols]
+        )
+        grad = np.zeros_like(factors)
+        np.add.at(grad, coo.rows, errors[:, None] * factors[coo.cols])
+        np.add.at(grad, coo.cols, errors[:, None] * factors[coo.rows])
+        touched = np.zeros(graph.n_vertices, dtype=bool)
+        touched[coo.rows] = True
+        touched[coo.cols] = True
+        expected = np.where(
+            touched[:, None],
+            factors + gamma * (grad - lam * factors),
+            factors,
+        )
+        assert np.allclose(result.factors, expected)
+
+    def test_bad_n_users(self, bipartite_small):
+        graph, _ = bipartite_small
+        with pytest.raises(Exception):
+            run_collaborative_filtering(graph, 0)
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, rmat_small):
+        result = run_connected_components(rmat_small)
+        undirected = as_networkx(rmat_small, directed=False)
+        expected = list(nx.connected_components(undirected))
+        assert result.n_components == len(expected)
+        for component in expected:
+            labels = {int(result.labels[v]) for v in component}
+            assert len(labels) == 1
+
+    def test_two_islands(self):
+        from repro.graph.builder import build_graph
+
+        graph = build_graph([(0, 1), (2, 3)], n_vertices=4)
+        result = run_connected_components(graph)
+        assert result.n_components == 2
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+
+
+@given(seed=st.integers(0, 2**16), scale=st.integers(4, 7))
+@settings(max_examples=12, deadline=None)
+def test_sssp_property_random_graphs(seed, scale):
+    """SSSP distances always match Dijkstra on random weighted RMATs."""
+    graph = with_random_weights(
+        rmat_graph(scale, 6, seed=seed), seed=seed + 1
+    )
+    result = run_sssp(graph, 0)
+    expected = csgraph.dijkstra(graph.edges.to_scipy().tocsr(), indices=0)
+    assert np.allclose(result.distances, expected, equal_nan=True)
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=12, deadline=None)
+def test_triangles_property_random_graphs(seed):
+    graph = gnm_random_graph(40, 160, seed=seed)
+    got = run_triangle_count(to_dag(graph)).total
+    expected = (
+        sum(nx.triangles(as_networkx(graph, directed=False)).values()) // 3
+    )
+    assert got == expected

@@ -1,0 +1,109 @@
+"""Benchmark harness tests: case preparation, grid runs, DNF handling."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cases import clear_cache, prepare_case, run_params
+from repro.bench.harness import CellResult, run_cell, run_grid
+from repro.bench.tables import format_table, grid_table
+from repro.errors import BenchmarkError
+from repro.frameworks.combblas_like import CombBLASLikeFramework
+from repro.frameworks.registry import make_framework
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestPrepareCase:
+    def test_bfs_case_is_symmetric(self):
+        case = prepare_case("facebook", "bfs")
+        coo = case.graph.edges
+        keys = set(zip(coo.rows.tolist(), coo.cols.tolist()))
+        assert all((b, a) in keys for a, b in keys)
+
+    def test_tc_case_is_dag(self):
+        case = prepare_case("rmat_20", "tc")
+        assert np.all(case.graph.edges.rows < case.graph.edges.cols)
+
+    def test_cf_needs_bipartite(self):
+        with pytest.raises(BenchmarkError):
+            prepare_case("facebook", "cf")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(BenchmarkError):
+            prepare_case("facebook", "kcore")
+
+    def test_graph_cached_across_calls(self):
+        a = prepare_case("facebook", "pagerank")
+        b = prepare_case("facebook", "pagerank")
+        assert a.graph is b.graph
+
+    def test_params_merged(self):
+        case = prepare_case("facebook", "pagerank", {"iterations": 2})
+        assert case.params["iterations"] == 2
+
+    def test_cf_params_carry_n_users(self):
+        case = prepare_case("netflix", "cf")
+        assert case.params["n_users"] == case.info.n_users
+
+    def test_run_params_split(self):
+        case = prepare_case("flickr", "sssp", {"source": 3})
+        args, kwargs = run_params(case)
+        assert args == (3,)
+        assert "source" not in kwargs
+
+
+class TestRunCell:
+    def test_completed_cell(self):
+        case = prepare_case("facebook", "pagerank", {"iterations": 2})
+        cell = run_cell(make_framework("graphmat"), case)
+        assert cell.completed
+        assert cell.seconds > 0
+        assert cell.metric_seconds() is not None
+        # PageRank reports time per iteration.
+        assert cell.metric_seconds() < cell.seconds
+
+    def test_dnf_cell(self):
+        case = prepare_case("rmat_20", "tc")
+        fw = CombBLASLikeFramework(spgemm_limit=1)
+        cell = run_cell(fw, case)
+        assert not cell.completed
+        assert cell.metric_seconds() is None
+        assert "memory cap" in cell.dnf_reason
+
+
+class TestGrid:
+    def test_grid_and_speedups(self):
+        grid = run_grid(
+            "pagerank",
+            ["facebook"],
+            ["graphlab", "graphmat"],
+            {"iterations": 2},
+        )
+        assert grid.cell("graphmat", "facebook").completed
+        speedups = grid.speedup_over("graphlab")
+        assert speedups["facebook"] > 1.0
+        assert grid.geomean_speedup("graphlab") > 1.0
+
+    def test_grid_table_renders(self):
+        grid = run_grid(
+            "pagerank", ["facebook"], ["graphlab", "graphmat"], {"iterations": 2}
+        )
+        text = grid_table(grid, "test table")
+        assert "graphmat" in text
+        assert "GraphMat vs graphlab" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", "1"], ["bb", "22"]], title="t"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1]
+        assert lines[2].startswith("---")

@@ -1,0 +1,201 @@
+"""Unit and property-based tests for the packed bitvector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.vector.bitvector import Bitvector
+
+
+class TestBasics:
+    def test_new_bitvector_is_empty(self):
+        bv = Bitvector(100)
+        assert len(bv) == 100
+        assert bv.popcount() == 0
+        assert not bv.any()
+
+    def test_set_and_test(self):
+        bv = Bitvector(70)
+        bv.set(0)
+        bv.set(63)
+        bv.set(64)
+        bv.set(69)
+        assert bv.test(0) and bv.test(63) and bv.test(64) and bv.test(69)
+        assert not bv.test(1)
+        assert bv.popcount() == 4
+
+    def test_clear_bit(self):
+        bv = Bitvector(10)
+        bv.set(5)
+        bv.clear_bit(5)
+        assert not bv.test(5)
+        assert bv.popcount() == 0
+
+    def test_contains(self):
+        bv = Bitvector(10)
+        bv.set(3)
+        assert 3 in bv
+        assert 4 not in bv
+        assert -1 not in bv
+        assert 100 not in bv
+        assert "x" not in bv
+
+    def test_out_of_range_raises(self):
+        bv = Bitvector(10)
+        with pytest.raises(IndexError):
+            bv.test(10)
+        with pytest.raises(IndexError):
+            bv.set(-1)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ShapeError):
+            Bitvector(-1)
+
+    def test_zero_length(self):
+        bv = Bitvector(0)
+        assert bv.popcount() == 0
+        assert bv.to_indices().size == 0
+
+    def test_fill_respects_length(self):
+        bv = Bitvector(67)
+        bv.fill()
+        assert bv.popcount() == 67
+
+    def test_clear_all(self):
+        bv = Bitvector(200)
+        bv.fill()
+        bv.clear()
+        assert bv.popcount() == 0
+
+    def test_repr_mentions_counts(self):
+        bv = Bitvector(8)
+        bv.set(1)
+        assert "length=8" in repr(bv) and "set=1" in repr(bv)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitvector(4))
+
+
+class TestBulk:
+    def test_set_many_and_indices(self):
+        bv = Bitvector(130)
+        bv.set_many(np.array([0, 64, 65, 129]))
+        assert bv.to_indices().tolist() == [0, 64, 65, 129]
+
+    def test_set_many_duplicates(self):
+        bv = Bitvector(16)
+        bv.set_many(np.array([3, 3, 3]))
+        assert bv.popcount() == 1
+
+    def test_set_many_empty(self):
+        bv = Bitvector(16)
+        bv.set_many(np.array([], dtype=np.int64))
+        assert bv.popcount() == 0
+
+    def test_set_many_out_of_range(self):
+        bv = Bitvector(16)
+        with pytest.raises(IndexError):
+            bv.set_many(np.array([16]))
+
+    def test_clear_many(self):
+        bv = Bitvector(70)
+        bv.set_many(np.array([1, 2, 65]))
+        bv.clear_many(np.array([2, 65]))
+        assert bv.to_indices().tolist() == [1]
+
+    def test_from_indices(self):
+        bv = Bitvector.from_indices(10, [9, 1])
+        assert bv.to_indices().tolist() == [1, 9]
+
+    def test_from_bool_array_roundtrip(self):
+        mask = np.zeros(77, dtype=bool)
+        mask[[0, 13, 76]] = True
+        bv = Bitvector.from_bool_array(mask)
+        assert np.array_equal(bv.to_bool_array(), mask)
+
+    def test_from_bool_array_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            Bitvector.from_bool_array(np.zeros((2, 2), dtype=bool))
+
+    def test_iteration_order(self):
+        bv = Bitvector.from_indices(100, [50, 2, 99])
+        assert list(bv) == [2, 50, 99]
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = Bitvector.from_indices(10, [1, 2])
+        b = Bitvector.from_indices(10, [2, 3])
+        assert (a | b).to_indices().tolist() == [1, 2, 3]
+
+    def test_intersection(self):
+        a = Bitvector.from_indices(10, [1, 2])
+        b = Bitvector.from_indices(10, [2, 3])
+        assert (a & b).to_indices().tolist() == [2]
+
+    def test_difference_update(self):
+        a = Bitvector.from_indices(10, [1, 2, 3])
+        a.difference_update(Bitvector.from_indices(10, [2]))
+        assert a.to_indices().tolist() == [1, 3]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            Bitvector(10).union_update(Bitvector(11))
+
+    def test_equality(self):
+        a = Bitvector.from_indices(10, [1])
+        b = Bitvector.from_indices(10, [1])
+        assert a == b
+        b.set(2)
+        assert a != b
+        assert a != "not a bitvector"
+
+    def test_copy_is_independent(self):
+        a = Bitvector.from_indices(10, [1])
+        b = a.copy()
+        b.set(5)
+        assert not a.test(5)
+
+
+@given(
+    length=st.integers(min_value=1, max_value=500),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_bitvector_matches_python_set(length, data):
+    """The bitvector behaves exactly like a set of ints under set/clear."""
+    indices = data.draw(
+        st.lists(st.integers(0, length - 1), max_size=60)
+    )
+    removals = data.draw(
+        st.lists(st.integers(0, length - 1), max_size=30)
+    )
+    bv = Bitvector(length)
+    model = set()
+    for i in indices:
+        bv.set(i)
+        model.add(i)
+    for i in removals:
+        bv.clear_bit(i)
+        model.discard(i)
+    assert bv.popcount() == len(model)
+    assert bv.to_indices().tolist() == sorted(model)
+    for probe in range(0, length, max(1, length // 13)):
+        assert bv.test(probe) == (probe in model)
+
+
+@given(
+    length=st.integers(min_value=1, max_value=300),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_union_intersection_match_sets(length, data):
+    xs = data.draw(st.lists(st.integers(0, length - 1), max_size=40))
+    ys = data.draw(st.lists(st.integers(0, length - 1), max_size=40))
+    a = Bitvector.from_indices(length, xs)
+    b = Bitvector.from_indices(length, ys)
+    assert set((a | b).to_indices().tolist()) == set(xs) | set(ys)
+    assert set((a & b).to_indices().tolist()) == set(xs) & set(ys)

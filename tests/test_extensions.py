@@ -1,0 +1,178 @@
+"""Tests for the extension algorithms and the dense property substrate."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.label_propagation import run_label_propagation
+from repro.core.options import EngineOptions
+from repro.errors import (
+    BenchmarkError,
+    ConvergenceError,
+    DatasetError,
+    FormatError,
+    GraphError,
+    IOFormatError,
+    ProgramError,
+    ReproError,
+    ShapeError,
+)
+from repro.graph.builder import build_graph
+from repro.graph.generators import gnm_random_graph, path_graph, rmat_graph
+from repro.graph.preprocess import symmetrize
+from repro.vector.dense import PropertyArray
+from repro.vector.sparse_vector import OBJECT, ValueSpec
+
+
+class TestLabelPropagation:
+    def test_single_seed_is_bfs(self):
+        graph = symmetrize(path_graph(5))
+        result = run_label_propagation(graph, {0: 0})
+        assert result.labels.tolist() == [0, 0, 0, 0, 0]
+        assert result.distances.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_two_seeds_partition_a_path(self):
+        graph = symmetrize(path_graph(7))
+        result = run_label_propagation(graph, {0: 1, 6: 2})
+        # Vertices 0-3 nearer seed 0 (tie at 3 goes to smaller label).
+        assert result.labels.tolist() == [1, 1, 1, 1, 2, 2, 2]
+
+    def test_tie_breaks_by_smaller_label(self):
+        graph = build_graph([(0, 1), (2, 1)], symmetrize=True)
+        result = run_label_propagation(graph, {0: 2, 2: 1})
+        assert result.labels[1] == 1  # equidistant; lower label wins
+
+    def test_unreached_marked(self):
+        graph = path_graph(4)  # directed: nothing reaches vertex 0
+        result = run_label_propagation(graph, {1: 0})
+        assert result.labels[0] == -1
+        assert np.isinf(result.distances[0])
+        assert result.reached == 3
+
+    def test_matches_multisource_bfs_reference(self):
+        graph = symmetrize(gnm_random_graph(60, 240, seed=4))
+        seeds = {3: 1, 40: 0, 17: 2}
+        result = run_label_propagation(graph, seeds)
+        # Reference: per-seed BFS, lexicographic (distance, label) min.
+        from repro.algorithms import run_bfs
+
+        per_seed = {}
+        for v, label in seeds.items():
+            g2 = symmetrize(gnm_random_graph(60, 240, seed=4))
+            per_seed[label] = run_bfs(g2, v).distances
+        for u in range(graph.n_vertices):
+            candidates = sorted(
+                (per_seed[label][u], label) for label in per_seed
+            )
+            best_dist, best_label = candidates[0]
+            if np.isinf(best_dist):
+                assert result.labels[u] == -1
+            else:
+                assert result.labels[u] == best_label
+                assert result.distances[u] == best_dist
+
+    def test_paths_agree(self):
+        graph = symmetrize(rmat_graph(7, 6, seed=2))
+        seeds = {1: 0, 5: 1}
+        fused = run_label_propagation(graph, dict(seeds)).labels
+        graph2 = symmetrize(rmat_graph(7, 6, seed=2))
+        scalar = run_label_propagation(
+            graph2, dict(seeds), options=EngineOptions(fused=False)
+        ).labels
+        assert np.array_equal(fused, scalar)
+
+    def test_validation(self):
+        graph = symmetrize(path_graph(4))
+        with pytest.raises(GraphError):
+            run_label_propagation(graph, {})
+        with pytest.raises(GraphError):
+            run_label_propagation(graph, {99: 0})
+        with pytest.raises(GraphError):
+            run_label_propagation(graph, {0: 99})
+
+
+class TestPropertyArray:
+    def test_fill_and_get(self):
+        props = PropertyArray(4)
+        props.fill(2.5)
+        assert props.get(3) == 2.5
+        assert len(props) == 4
+
+    def test_set(self):
+        props = PropertyArray(4)
+        props.set(1, 9.0)
+        assert props.get(1) == 9.0
+
+    def test_vector_entries(self):
+        props = PropertyArray(3, ValueSpec(np.float64, (2,)))
+        props.set(0, np.array([1.0, 2.0]))
+        assert np.array_equal(props.get(0), [1.0, 2.0])
+
+    def test_object_entries(self):
+        props = PropertyArray(3, OBJECT)
+        props.set(0, [1, 2, 3])
+        assert props.get(0) == [1, 2, 3]
+
+    def test_entries_equal_scalar(self):
+        props = PropertyArray(2)
+        props.set(0, 1.0)
+        assert props.entries_equal(0, 1.0)
+        assert not props.entries_equal(0, 2.0)
+
+    def test_entries_equal_object(self):
+        props = PropertyArray(2, OBJECT)
+        arr = np.array([1, 2])
+        props.set(0, arr)
+        assert props.entries_equal(0, arr)
+        assert props.entries_equal(0, np.array([1, 2]))
+        assert not props.entries_equal(0, np.array([1, 3]))
+
+    def test_copy_independent(self):
+        props = PropertyArray(2)
+        props.set(0, 1.0)
+        clone = props.copy()
+        clone.set(0, 9.0)
+        assert props.get(0) == 1.0
+
+    def test_from_array(self):
+        data = np.zeros((3, 2))
+        props = PropertyArray.from_array(data)
+        assert props.length == 3
+        assert props.spec.shape == (2,)
+        props.set(1, [5.0, 6.0])
+        assert data[1].tolist() == [5.0, 6.0]  # wraps, doesn't copy
+
+    def test_from_array_spec_mismatch(self):
+        with pytest.raises(ShapeError):
+            PropertyArray.from_array(
+                np.zeros((3, 2)), ValueSpec(np.float64, (4,))
+            )
+
+    def test_negative_length(self):
+        with pytest.raises(ShapeError):
+            PropertyArray(-1)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ShapeError,
+            FormatError,
+            GraphError,
+            ProgramError,
+            ConvergenceError,
+            DatasetError,
+            IOFormatError,
+            BenchmarkError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Validation errors should also be catchable as ValueError."""
+        for exc in (ShapeError, FormatError, GraphError, DatasetError, IOFormatError):
+            assert issubclass(exc, ValueError)
+
+    def test_convergence_is_runtime_error(self):
+        assert issubclass(ConvergenceError, RuntimeError)

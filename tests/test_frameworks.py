@@ -1,0 +1,195 @@
+"""Cross-framework integration tests: all five implementations must agree.
+
+This is the reproduction's core integrity check: the Figure 4 comparison is
+only meaningful if every framework computes the same answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frameworks import (
+    COMPARED_FRAMEWORKS,
+    framework_names,
+    make_framework,
+)
+from repro.frameworks.base import RunRecord, cf_initial_factors
+from repro.graph.generators import BipartiteSpec, bipartite_rating_graph, rmat_graph
+from repro.graph.preprocess import symmetrize, to_dag, with_random_weights
+
+ALL = framework_names()
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    g = rmat_graph(8, 8, seed=21)
+    return {
+        "directed": g,
+        "weighted": with_random_weights(g, seed=4),
+        "sym": symmetrize(g),
+        "dag": to_dag(g),
+        "bipartite": (
+            bipartite_rating_graph(
+                BipartiteSpec(n_users=150, n_items=40, ratings_per_user=8),
+                seed=5,
+            ),
+            150,
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def reference(workloads):
+    fw = make_framework("graphmat")
+    bip, n_users = workloads["bipartite"]
+    return {
+        "pagerank": fw.pagerank(workloads["directed"], iterations=4)[0],
+        "bfs": fw.bfs(workloads["sym"], 0)[0],
+        "sssp": fw.sssp(workloads["weighted"], 0)[0],
+        "tc": fw.triangle_count(workloads["dag"])[0],
+        "cf": fw.collaborative_filtering(
+            bip, n_users, k=4, iterations=3, seed=8
+        )[0],
+    }
+
+
+@pytest.mark.parametrize("name", [n for n in ALL if n != "graphmat"])
+class TestAgreement:
+    def test_pagerank(self, name, workloads, reference):
+        got, record = make_framework(name).pagerank(
+            workloads["directed"], iterations=4
+        )
+        assert np.allclose(got, reference["pagerank"], rtol=1e-9)
+        assert record.iterations == 4
+
+    def test_bfs(self, name, workloads, reference):
+        got, _ = make_framework(name).bfs(workloads["sym"], 0)
+        assert np.array_equal(got, reference["bfs"])
+
+    def test_sssp(self, name, workloads, reference):
+        got, _ = make_framework(name).sssp(workloads["weighted"], 0)
+        assert np.allclose(got, reference["sssp"], equal_nan=True)
+
+    def test_triangle_count(self, name, workloads, reference):
+        got, _ = make_framework(name).triangle_count(workloads["dag"])
+        assert got == reference["tc"]
+
+    def test_cf(self, name, workloads, reference):
+        bip, n_users = workloads["bipartite"]
+        got, _ = make_framework(name).collaborative_filtering(
+            bip, n_users, k=4, iterations=3, seed=8
+        )
+        if name == "native":
+            # Native is SGD (per the paper): trajectories differ, but it
+            # must still fit the ratings better than the initial factors.
+            from repro.algorithms.collaborative_filtering import train_rmse
+
+            initial = cf_initial_factors(bip.n_vertices, 4, 8)
+            assert train_rmse(bip, got) < train_rmse(bip, initial)
+        else:
+            assert np.allclose(got, reference["cf"], rtol=1e-8)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestRunRecords:
+    def test_record_contents(self, name, workloads):
+        _, record = make_framework(name).pagerank(
+            workloads["directed"], iterations=2
+        )
+        assert isinstance(record, RunRecord)
+        assert record.algorithm == "pagerank"
+        assert record.seconds > 0
+        assert record.iterations == 2
+        assert record.seconds_per_iteration() <= record.seconds
+        assert record.counters.total_events > 0
+
+    def test_work_profile_present(self, name, workloads):
+        _, record = make_framework(name).pagerank(
+            workloads["directed"], iterations=2
+        )
+        assert len(record.per_iteration_work) >= 1
+        assert all(units.size >= 1 for units in record.per_iteration_work)
+
+
+class TestDispatch:
+    def test_run_by_name(self, workloads):
+        fw = make_framework("graphmat")
+        value, record = fw.run("bfs", workloads["sym"], 0)
+        assert record.algorithm == "bfs"
+        assert value.shape[0] == workloads["sym"].n_vertices
+
+    def test_unknown_algorithm(self, workloads):
+        with pytest.raises(KeyError):
+            make_framework("graphmat").run("mst", workloads["directed"])
+
+    def test_unknown_framework(self):
+        with pytest.raises(KeyError):
+            make_framework("pregel")
+
+    def test_compared_set(self):
+        assert COMPARED_FRAMEWORKS[-1] == "graphmat"
+        assert "native" not in COMPARED_FRAMEWORKS
+
+
+class TestCombBLASSpecifics:
+    def test_spgemm_cap_triggers_dnf(self, workloads):
+        from repro.errors import BenchmarkError
+        from repro.frameworks.combblas_like import CombBLASLikeFramework
+
+        fw = CombBLASLikeFramework(spgemm_limit=10)
+        with pytest.raises(BenchmarkError, match="memory cap"):
+            fw.triangle_count(workloads["dag"])
+
+    def test_square_grid_profile(self):
+        fw = make_framework("combblas")
+        assert fw.scaling_profile.square_processes_only
+        assert fw.scaling_profile.usable_threads(24) == 16
+        assert fw.scaling_profile.usable_threads(9) == 9
+
+    def test_counters_show_extra_allocations(self, workloads):
+        """CombBLAS's copies and merges must show in the event counts."""
+        _, cb = make_framework("combblas").pagerank(
+            workloads["directed"], iterations=3
+        )
+        _, gm = make_framework("graphmat").pagerank(
+            workloads["directed"], iterations=3
+        )
+        assert cb.counters.allocations > gm.counters.allocations
+
+
+class TestGaloisSpecifics:
+    def test_async_sssp_fewer_relaxations(self, workloads):
+        """Asynchronous execution must process fewer edges than BSP."""
+        _, galois = make_framework("galois").sssp(workloads["weighted"], 0)
+        _, graphmat = make_framework("graphmat").sssp(
+            workloads["weighted"], 0
+        )
+        galois_edges = sum(
+            units.sum() for units in galois.per_iteration_work
+        )
+        graphmat_edges = sum(
+            units.sum() for units in graphmat.per_iteration_work
+        )
+        assert galois_edges < graphmat_edges
+
+    def test_sssp_many_seeds(self):
+        """Async bucket schedule converges to Dijkstra on many graphs."""
+        from scipy.sparse import csgraph
+
+        fw = make_framework("galois")
+        for seed in range(6):
+            g = with_random_weights(rmat_graph(6, 6, seed=seed), seed=seed)
+            got, _ = fw.sssp(g, 0)
+            expected = csgraph.dijkstra(g.edges.to_scipy().tocsr(), indices=0)
+            assert np.allclose(got, expected, equal_nan=True)
+
+
+class TestGraphLabSpecifics:
+    def test_per_vertex_user_calls_dominate(self, workloads):
+        """Vertex-at-a-time interpretation shows up as user calls."""
+        _, gl = make_framework("graphlab").pagerank(
+            workloads["directed"], iterations=2
+        )
+        _, gm = make_framework("graphmat").pagerank(
+            workloads["directed"], iterations=2
+        )
+        assert gl.counters.user_calls > 10 * gm.counters.user_calls

@@ -1,0 +1,254 @@
+"""Generator tests: RMAT, bipartite ratings, road networks, datasets registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, GraphError
+from repro.graph.datasets import (
+    dataset_info,
+    dataset_names,
+    datasets_for_algorithm,
+    load_dataset,
+)
+from repro.graph.generators import (
+    GRAPH500_PARAMS,
+    TRIANGLE_PARAMS,
+    BipartiteSpec,
+    RmatParams,
+    bipartite_rating_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    is_bipartite_user_item,
+    path_graph,
+    rmat_edges,
+    rmat_graph,
+    road_graph,
+    star_graph,
+    user_item_split,
+)
+
+
+class TestRmat:
+    def test_edge_count(self):
+        src, dst = rmat_edges(8, 4, seed=1)
+        assert src.shape[0] == 4 * 256
+        assert dst.shape[0] == src.shape[0]
+
+    def test_vertex_range(self):
+        src, dst = rmat_edges(6, 4, seed=2)
+        assert src.min() >= 0 and src.max() < 64
+        assert dst.min() >= 0 and dst.max() < 64
+
+    def test_deterministic(self):
+        a = rmat_edges(7, 4, seed=3)
+        b = rmat_edges(7, 4, seed=3)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_seed_changes_output(self):
+        a = rmat_edges(7, 4, seed=3)
+        b = rmat_edges(7, 4, seed=4)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_graph_has_no_self_loops(self):
+        g = rmat_graph(7, 4, seed=5)
+        assert np.all(g.edges.rows != g.edges.cols)
+
+    def test_weighted_graph(self):
+        g = rmat_graph(7, 4, seed=5, weighted=True, weight_range=(1.0, 2.0))
+        assert g.edges.vals.min() >= 1.0
+        assert g.edges.vals.max() < 2.0
+
+    def test_skew_produces_hubs(self):
+        """RMAT degree distribution is heavy-tailed vs uniform random."""
+        g = rmat_graph(10, 8, seed=6)
+        degrees = g.out_degrees()
+        assert degrees.max() > 5 * max(1.0, degrees.mean())
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            RmatParams(0.6, 0.3, 0.3)
+        with pytest.raises(GraphError):
+            rmat_graph(0, 4)
+        with pytest.raises(GraphError):
+            rmat_graph(4, 0)
+
+    def test_param_presets(self):
+        assert GRAPH500_PARAMS.a == 0.57
+        assert TRIANGLE_PARAMS.a == 0.45
+        assert abs(GRAPH500_PARAMS.d - 0.05) < 1e-12
+
+
+class TestBipartite:
+    def test_structure(self):
+        spec = BipartiteSpec(n_users=50, n_items=10, ratings_per_user=5)
+        g = bipartite_rating_graph(spec, seed=1)
+        assert g.n_vertices == 60
+        assert is_bipartite_user_item(g, 50)
+
+    def test_ratings_in_range(self):
+        spec = BipartiteSpec(n_users=50, n_items=10, ratings_per_user=5)
+        g = bipartite_rating_graph(spec, seed=1)
+        assert g.edges.vals.min() >= 1.0
+        assert g.edges.vals.max() <= 5.0
+
+    def test_no_duplicate_pairs(self):
+        spec = BipartiteSpec(n_users=30, n_items=8, ratings_per_user=6)
+        g = bipartite_rating_graph(spec, seed=2)
+        keys = g.edges.rows * 1000 + g.edges.cols
+        assert np.unique(keys).shape[0] == keys.shape[0]
+
+    def test_item_popularity_skewed(self):
+        spec = BipartiteSpec(
+            n_users=400, n_items=50, ratings_per_user=10, item_skew=1.2
+        )
+        g = bipartite_rating_graph(spec, seed=3)
+        item_degrees = np.bincount(g.edges.cols - 400, minlength=50)
+        assert item_degrees.max() > 3 * item_degrees.mean()
+
+    def test_user_item_split(self):
+        spec = BipartiteSpec(n_users=5, n_items=3, ratings_per_user=2)
+        g = bipartite_rating_graph(spec, seed=1)
+        users, items = user_item_split(g, 5)
+        assert users.tolist() == [0, 1, 2, 3, 4]
+        assert items.tolist() == [5, 6, 7]
+        with pytest.raises(GraphError):
+            user_item_split(g, 0)
+
+    def test_invalid_spec(self):
+        with pytest.raises(GraphError):
+            BipartiteSpec(n_users=0, n_items=5, ratings_per_user=2)
+        with pytest.raises(GraphError):
+            BipartiteSpec(n_users=5, n_items=5, ratings_per_user=0)
+
+
+class TestRoad:
+    def test_size(self):
+        g = road_graph(10, 8, seed=1)
+        assert g.n_vertices == 80
+
+    def test_low_average_degree(self):
+        g = road_graph(20, 20, seed=2)
+        avg_degree = g.n_edges / g.n_vertices
+        assert avg_degree < 5.0  # road-like, not social-like
+
+    def test_bidirectional(self):
+        g = road_graph(8, 8, seed=3)
+        keys = set(zip(g.edges.rows.tolist(), g.edges.cols.tolist()))
+        assert all((b, a) in keys for a, b in keys)
+
+    def test_high_diameter(self):
+        """Road grids have diameter ~width+height, unlike RMAT."""
+        from repro.algorithms import run_bfs
+        from repro.graph.preprocess import largest_connected_component
+
+        g = largest_connected_component(road_graph(16, 16, seed=4))
+        result = run_bfs(g, 0)
+        assert result.max_level > 10
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            road_graph(1, 5)
+        with pytest.raises(GraphError):
+            road_graph(5, 5, keep=0.0)
+
+
+class TestDeterministicTopologies:
+    def test_path(self):
+        g = path_graph(4)
+        assert g.n_edges == 3
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert g.n_edges == 4
+
+    def test_star(self):
+        assert star_graph(3).n_edges == 3
+        assert star_graph(3, outward=False).n_edges == 3
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.n_edges == 12
+
+    def test_gnm_exact_edges(self):
+        g = gnm_random_graph(20, 50, seed=1)
+        assert g.n_edges == 50
+
+    def test_gnm_bounds(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(3, 100)
+
+    def test_invalid_sizes(self):
+        for bad in (
+            lambda: path_graph(0),
+            lambda: cycle_graph(1),
+            lambda: star_graph(0),
+            lambda: complete_graph(1),
+        ):
+            with pytest.raises(GraphError):
+                bad()
+
+
+class TestDatasetRegistry:
+    def test_all_table1_rows_present(self):
+        names = dataset_names()
+        for expected in (
+            "rmat_20",
+            "rmat_23",
+            "rmat_24",
+            "livejournal",
+            "facebook",
+            "wikipedia",
+            "flickr",
+            "netflix",
+            "synthetic_cf",
+            "usa_road",
+        ):
+            assert expected in names
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            dataset_info("orkut")
+
+    def test_paper_metadata_recorded(self):
+        info = dataset_info("livejournal")
+        assert info.paper_vertices == 4_847_571
+        assert info.paper_edges == 68_993_773
+
+    def test_algorithm_mapping_matches_table1(self):
+        tc_sets = {d.name for d in datasets_for_algorithm("tc")}
+        assert tc_sets == {"rmat_20", "livejournal", "facebook", "wikipedia"}
+        sssp_sets = {d.name for d in datasets_for_algorithm("sssp")}
+        assert sssp_sets == {"rmat_23", "rmat_24", "flickr", "usa_road"}
+        cf_sets = {d.name for d in datasets_for_algorithm("cf")}
+        assert cf_sets == {"netflix", "synthetic_cf"}
+
+    def test_load_is_deterministic(self):
+        a = load_dataset("facebook")
+        b = load_dataset("facebook")
+        assert a.n_edges == b.n_edges
+
+    def test_bipartite_datasets_are_bipartite(self):
+        info = dataset_info("netflix")
+        g = info.load()
+        assert is_bipartite_user_item(g, info.n_users)
+
+    def test_road_dataset_low_degree(self):
+        g = load_dataset("usa_road")
+        assert g.n_edges / g.n_vertices < 5.0
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_dataset_loads(self, name):
+        g = load_dataset(name)
+        assert g.n_vertices > 0
+        assert g.n_edges > 0
+
+    def test_scale_override(self, monkeypatch):
+        base = load_dataset("facebook").n_vertices
+        monkeypatch.setenv("REPRO_SCALE_OVERRIDE", "1")
+        bigger = load_dataset("facebook").n_vertices
+        assert bigger == base * 2
+
+    def test_scale_override_invalid_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE_OVERRIDE", "lots")
+        assert load_dataset("facebook").n_vertices > 0

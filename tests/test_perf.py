@@ -1,0 +1,228 @@
+"""Performance substrate tests: counters, machine model, parallel simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BenchmarkError
+from repro.perf.counters import EventCounters
+from repro.perf.machine import (
+    DEFAULT_MACHINE,
+    MachineModel,
+    derive_report,
+    graph_working_set_bytes,
+)
+from repro.perf.parallel_model import (
+    ScalingProfile,
+    makespan,
+    repartition_units,
+    simulate_superstep_time,
+    speedup_curve,
+)
+from repro.perf.timers import Timer, time_call
+
+
+class TestCounters:
+    def test_record_accumulates(self):
+        c = EventCounters()
+        c.record(user_calls=2, element_ops=10)
+        c.record(user_calls=3, random_accesses=5)
+        assert c.user_calls == 5
+        assert c.element_ops == 10
+        assert c.random_accesses == 5
+        assert c.total_events == 20
+
+    def test_merge(self):
+        a = EventCounters(user_calls=1)
+        b = EventCounters(user_calls=2, allocations=3)
+        a.merge(b)
+        assert a.user_calls == 3 and a.allocations == 3
+
+    def test_copy_independent(self):
+        a = EventCounters(user_calls=1)
+        b = a.copy()
+        b.record(user_calls=9)
+        assert a.user_calls == 1
+
+    def test_as_dict(self):
+        d = EventCounters(messages=7).as_dict()
+        assert d["messages"] == 7
+        assert set(d) == {
+            "user_calls",
+            "element_ops",
+            "random_accesses",
+            "sequential_bytes",
+            "allocations",
+            "messages",
+        }
+
+
+class TestMachineModel:
+    def test_miss_rate_bounds(self):
+        m = DEFAULT_MACHINE
+        assert m.miss_rate(0) == m.min_miss_rate
+        assert m.miss_rate(m.cache_bytes // 2) == m.min_miss_rate
+        assert m.miss_rate(100 * m.cache_bytes) > 0.9
+        assert m.miss_rate(10**15) <= 1.0
+
+    def test_more_user_calls_more_instructions(self):
+        lean = EventCounters(user_calls=10, element_ops=1000)
+        fat = EventCounters(user_calls=10_000, element_ops=1000)
+        ws = 10**9
+        assert (
+            derive_report(fat, ws).instructions
+            > derive_report(lean, ws).instructions
+        )
+
+    def test_more_random_accesses_more_stalls(self):
+        lean = EventCounters(element_ops=1000, random_accesses=10)
+        fat = EventCounters(element_ops=1000, random_accesses=10_000)
+        ws = 10**9
+        assert (
+            derive_report(fat, ws).stall_cycles
+            > derive_report(lean, ws).stall_cycles
+        )
+
+    def test_stalls_lower_ipc(self):
+        lean = EventCounters(element_ops=10_000, random_accesses=10)
+        fat = EventCounters(element_ops=10_000, random_accesses=10_000)
+        ws = 10**9
+        assert derive_report(fat, ws).ipc < derive_report(lean, ws).ipc
+
+    def test_normalized_to(self):
+        a = derive_report(EventCounters(element_ops=100), 10**9)
+        ratios = a.normalized_to(a)
+        assert ratios["instructions"] == pytest.approx(1.0)
+        assert ratios["ipc"] == pytest.approx(1.0)
+
+    def test_empty_counters(self):
+        report = derive_report(EventCounters(), 10**9)
+        assert report.cycles == 0
+        assert report.ipc == 0
+
+    def test_working_set_estimate(self):
+        assert graph_working_set_bytes(10, 100) == 16 * 100 + 24 * 10
+
+
+class TestMakespan:
+    def test_single_thread_is_total(self):
+        costs = np.array([3.0, 1.0, 2.0])
+        assert makespan(costs, 1, "static") == 6.0
+        assert makespan(costs, 1, "dynamic") == 6.0
+
+    def test_dynamic_beats_static_on_skew(self):
+        # One giant unit first: static contiguous chunks overload thread 0.
+        costs = np.array([100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        assert makespan(costs, 4, "dynamic") <= makespan(costs, 4, "static")
+
+    def test_dynamic_is_lpt(self):
+        costs = np.array([5.0, 4.0, 3.0, 3.0])
+        # LPT on 2 threads: {5,3} and {4,3} -> makespan 8.
+        assert makespan(costs, 2, "dynamic") == 8.0
+
+    def test_empty(self):
+        assert makespan(np.array([]), 4, "dynamic") == 0.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(BenchmarkError):
+            makespan(np.array([1.0]), 0, "static")
+        with pytest.raises(BenchmarkError):
+            makespan(np.array([1.0]), 2, "random")
+
+    def test_makespan_lower_bound(self):
+        """Makespan >= max unit and >= total/threads (scheduling bounds)."""
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(1, 50, size=30)
+        for threads in (2, 4, 8):
+            for schedule in ("static", "dynamic"):
+                ms = makespan(costs, threads, schedule)
+                assert ms >= costs.max() - 1e-9
+                assert ms >= costs.sum() / threads - 1e-9
+
+
+class TestScalingProfile:
+    def test_square_constraint(self):
+        profile = ScalingProfile(name="x", square_processes_only=True)
+        assert profile.usable_threads(24) == 16
+        assert profile.usable_threads(3) == 1
+        assert profile.usable_threads(16) == 16
+
+    def test_no_constraint(self):
+        assert ScalingProfile(name="x").usable_threads(24) == 24
+
+    def test_sync_cost_increases_time(self):
+        units = np.full(32, 10.0)
+        cheap = ScalingProfile(name="a", sync_units=0.0)
+        costly = ScalingProfile(name="b", sync_units=100.0)
+        assert simulate_superstep_time(units, 8, costly) > simulate_superstep_time(
+            units, 8, cheap
+        )
+
+    def test_speedup_curve_starts_at_one(self):
+        units = [np.full(64, 5.0) for _ in range(3)]
+        profile = ScalingProfile(name="x", sync_units=1.0)
+        curve = speedup_curve(units, [1, 2, 4, 8], profile)
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[8] > curve[1]
+
+    def test_speedup_bounded_by_threads(self):
+        units = [np.full(128, 5.0)]
+        profile = ScalingProfile(name="x", bandwidth_beta=0.0, sync_units=0.0)
+        curve = speedup_curve(units, [4], profile)
+        assert curve[4] <= 4.0 + 1e-9
+
+    def test_bandwidth_saturation_limits_speedup(self):
+        units = [np.full(256, 5.0)]
+        free = ScalingProfile(
+            name="free", bandwidth_beta=0.0, streaming_fraction=1.0
+        )
+        saturated = ScalingProfile(
+            name="sat", bandwidth_beta=0.5, streaming_fraction=1.0
+        )
+        assert (
+            speedup_curve(units, [16], saturated)[16]
+            < speedup_curve(units, [16], free)[16]
+        )
+
+    def test_repartition_conserves_total(self):
+        units = np.arange(1, 33, dtype=np.float64)
+        merged = repartition_units(units, 4)
+        assert merged.shape[0] == 4
+        assert merged.sum() == pytest.approx(units.sum())
+        with pytest.raises(BenchmarkError):
+            repartition_units(units, 0)
+
+
+class TestTimers:
+    def test_timer_context(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.seconds >= 0
+
+    def test_time_call_returns_result(self):
+        seconds, result = time_call(lambda x: x * 2, 21, repeats=2)
+        assert result == 42
+        assert seconds >= 0
+
+
+@given(
+    n_units=st.integers(1, 64),
+    threads=st.integers(1, 24),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_dynamic_never_worse_than_static(n_units, threads, data):
+    costs = np.asarray(
+        data.draw(
+            st.lists(
+                st.floats(0.1, 100.0),
+                min_size=n_units,
+                max_size=n_units,
+            )
+        )
+    )
+    # Greedy LPT is a 4/3-approximation; static contiguous has no bound.
+    assert makespan(costs, threads, "dynamic") <= makespan(
+        costs, threads, "static"
+    ) * 4 / 3 + 1e-6

@@ -1,0 +1,91 @@
+"""Semiring law tests (scalar and vectorized forms must agree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semiring import (
+    MIN_FIRST,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_FIRST,
+    PLUS_TIMES,
+    STANDARD_SEMIRINGS,
+    get_semiring,
+)
+
+NUMERIC_SEMIRINGS = [PLUS_TIMES, MIN_PLUS, MIN_FIRST, PLUS_FIRST]
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert len(STANDARD_SEMIRINGS) == 6
+
+    def test_lookup(self):
+        assert get_semiring("min-plus") is MIN_PLUS
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown semiring"):
+            get_semiring("times-times")
+
+    def test_repr(self):
+        assert "plus-times" in repr(PLUS_TIMES)
+
+
+class TestReduceArray:
+    def test_empty_returns_identity(self):
+        assert MIN_PLUS.reduce_array(np.array([])) == np.inf
+        assert PLUS_TIMES.reduce_array(np.array([])) == 0.0
+
+    def test_reduce(self):
+        assert PLUS_TIMES.reduce_array(np.array([1.0, 2.0, 3.0])) == 6.0
+        assert MIN_PLUS.reduce_array(np.array([3.0, 1.0])) == 1.0
+
+
+@pytest.mark.parametrize("semiring", NUMERIC_SEMIRINGS, ids=lambda s: s.name)
+@given(a=finite_floats, b=finite_floats, c=finite_floats)
+@settings(max_examples=50, deadline=None)
+def test_add_commutative_associative(semiring, a, b, c):
+    assert semiring.add(a, b) == pytest.approx(semiring.add(b, a))
+    left = semiring.add(semiring.add(a, b), c)
+    right = semiring.add(a, semiring.add(b, c))
+    assert left == pytest.approx(right, rel=1e-9, abs=1e-6)
+
+
+@pytest.mark.parametrize("semiring", NUMERIC_SEMIRINGS, ids=lambda s: s.name)
+@given(a=finite_floats)
+@settings(max_examples=30, deadline=None)
+def test_add_identity_is_neutral(semiring, a):
+    assert semiring.add(a, semiring.add_identity) == pytest.approx(a)
+
+
+@pytest.mark.parametrize("semiring", NUMERIC_SEMIRINGS, ids=lambda s: s.name)
+@given(
+    messages=st.lists(finite_floats, min_size=1, max_size=20),
+    edges=st.lists(finite_floats, min_size=1, max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_vectorized_matches_scalar(semiring, messages, edges):
+    n = min(len(messages), len(edges))
+    msg = np.asarray(messages[:n])
+    edge = np.asarray(edges[:n])
+    vectorized = np.asarray(semiring.multiply_ufunc(msg, edge), dtype=float)
+    scalar = np.asarray(
+        [semiring.multiply(m, e) for m, e in zip(msg, edge)], dtype=float
+    )
+    assert np.allclose(vectorized, scalar)
+
+
+def test_boolean_semiring():
+    assert OR_AND.add(False, True) is True
+    assert OR_AND.multiply(True, False) is False
+    assert OR_AND.add_identity is False
+    out = OR_AND.multiply_ufunc(
+        np.array([True, True]), np.array([True, False])
+    )
+    assert out.tolist() == [True, False]

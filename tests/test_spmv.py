@@ -1,0 +1,191 @@
+"""Generalized SpMV tests: all code paths agree with scipy reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph_program import EdgeDirection, SemiringProgram
+from repro.core.options import EngineOptions
+from repro.core.semiring import MIN_PLUS, PLUS_TIMES
+from repro.core.spmv import PartitionWork, spmv_fused, spmv_scalar
+from repro.graph.graph import Graph
+from repro.matrix.coo import COOMatrix
+from repro.matrix.partition import PartitionedMatrix
+from repro.vector.dense import PropertyArray
+from repro.vector.sparse_vector import (
+    FLOAT64,
+    BitvectorVector,
+    SortedTuplesVector,
+)
+
+from tests.test_matrix_formats import coo_matrices
+
+
+def reference_spmv_plus_times(coo: COOMatrix, x_dense: np.ndarray) -> np.ndarray:
+    """y = M x over (+, *) using scipy, for square matrices."""
+    return coo.to_scipy().tocsr() @ x_dense
+
+
+def _run_spmv(coo, x_idx, x_vals, semiring, *, fused, n_parts=2):
+    """Drive one SpMV call directly (bypassing the engine loop)."""
+    n = coo.shape[0]
+    blocks = PartitionedMatrix.from_coo(coo, n_parts)
+    program = SemiringProgram(semiring)
+    properties = PropertyArray(n, FLOAT64)
+    if fused:
+        x = BitvectorVector(n)
+        y = BitvectorVector(n)
+    else:
+        x = SortedTuplesVector(n)
+        y = SortedTuplesVector(n)
+    for i, v in zip(x_idx, x_vals):
+        x.set(int(i), float(v))
+    work: list[PartitionWork] = []
+    if fused:
+        edges = spmv_fused(blocks, x, y, program, properties, None, work)
+    else:
+        edges = spmv_scalar(blocks, x, y, program, properties, None, work)
+    return y, edges, work
+
+
+class TestAgainstScipy:
+    def test_dense_input_plus_times(self):
+        coo = COOMatrix(
+            (4, 4),
+            np.array([0, 1, 2, 3, 1]),
+            np.array([1, 2, 3, 0, 0]),
+            np.array([2.0, 3.0, 4.0, 5.0, 7.0]),
+        )
+        x_dense = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = reference_spmv_plus_times(coo, x_dense)
+        for fused in (False, True):
+            y, edges, _ = _run_spmv(
+                coo, np.arange(4), x_dense, PLUS_TIMES, fused=fused
+            )
+            assert edges == coo.nnz
+            got = y.to_dense(fill=0.0)
+            assert np.allclose(got, expected)
+
+    def test_sparse_input_only_touches_active_columns(self):
+        coo = COOMatrix(
+            (4, 4),
+            np.array([1, 2, 3]),
+            np.array([0, 0, 2]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+        # Only column 0 active: edges from column 2 must not fire.
+        y, edges, _ = _run_spmv(
+            coo, np.array([0]), np.array([10.0]), PLUS_TIMES, fused=True
+        )
+        assert edges == 2
+        assert sorted(y.indices().tolist()) == [1, 2]
+
+    def test_min_plus(self):
+        coo = COOMatrix(
+            (3, 3),
+            np.array([1, 2, 2]),
+            np.array([0, 0, 1]),
+            np.array([5.0, 1.0, 10.0]),
+        )
+        for fused in (False, True):
+            y, _, _ = _run_spmv(
+                coo,
+                np.array([0, 1]),
+                np.array([0.0, 2.0]),
+                MIN_PLUS,
+                fused=fused,
+            )
+            assert y.get(1) == 5.0
+            assert y.get(2) == 1.0  # min(0+1, 2+10)
+
+
+class TestPartitionWork:
+    def test_work_sums_to_edges(self):
+        coo = COOMatrix(
+            (6, 6),
+            np.array([0, 1, 2, 3, 4, 5]),
+            np.array([1, 2, 3, 4, 5, 0]),
+        )
+        y, edges, work = _run_spmv(
+            coo,
+            np.arange(6),
+            np.ones(6),
+            PLUS_TIMES,
+            fused=True,
+            n_parts=3,
+        )
+        assert sum(w.edges for w in work) == edges == coo.nnz
+        assert len(work) == 3
+        assert all(w.seconds >= 0 for w in work)
+
+
+@given(coo=coo_matrices(max_dim=15, max_nnz=60), data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_all_paths_match_scipy_on_square_matrices(coo, data):
+    if coo.shape[0] != coo.shape[1]:
+        n = max(coo.shape)
+        coo = COOMatrix((n, n), coo.rows, coo.cols, coo.vals)
+    coo = coo.deduplicated("last")
+    n = coo.shape[0]
+    active = data.draw(
+        st.lists(st.integers(0, n - 1), max_size=n, unique=True)
+    )
+    x_dense = np.zeros(n)
+    for i in active:
+        x_dense[i] = data.draw(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+        )
+    full = coo.to_scipy().tocsr() @ x_dense
+    # Expected: only rows fed by at least one active column have entries.
+    expected_mask = np.zeros(n, dtype=bool)
+    active_set = set(active)
+    for k in range(coo.nnz):
+        if int(coo.cols[k]) in active_set:
+            expected_mask[coo.rows[k]] = True
+    results = {}
+    for fused in (False, True):
+        y, _, _ = _run_spmv(
+            coo,
+            np.asarray(active, dtype=np.int64),
+            x_dense[np.asarray(active, dtype=np.int64)]
+            if active
+            else np.zeros(0),
+            PLUS_TIMES,
+            fused=fused,
+            n_parts=data.draw(st.integers(1, 4)),
+        )
+        got_mask = np.zeros(n, dtype=bool)
+        got_mask[y.indices()] = True
+        assert np.array_equal(got_mask, expected_mask)
+        dense = y.to_dense(fill=0.0)
+        assert np.allclose(dense[expected_mask], full[expected_mask])
+        results[fused] = dense
+    assert np.allclose(results[False], results[True])
+
+
+class TestEngineOptionValidation:
+    def test_bad_thread_count(self):
+        with pytest.raises(Exception):
+            EngineOptions(n_threads=0)
+
+    def test_bad_strategy(self):
+        with pytest.raises(Exception):
+            EngineOptions(partition_strategy="zigzag")
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(Exception):
+            EngineOptions(max_iterations=0)
+        with pytest.raises(Exception):
+            EngineOptions(max_iterations=-2)
+
+    def test_n_partitions_math(self):
+        assert EngineOptions(n_threads=4, partitions_per_thread=8).n_partitions == 32
+        assert (
+            EngineOptions(n_threads=4, dynamic_schedule=False).n_partitions == 4
+        )
+
+    def test_with_updates(self):
+        options = EngineOptions().with_(n_threads=4)
+        assert options.n_threads == 4
+        assert EngineOptions().n_threads == 1
