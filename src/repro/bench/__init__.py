@@ -1,5 +1,11 @@
 """Benchmark harness library used by the benchmarks/ pytest suite."""
 
+from repro.bench.backends import (
+    backend_configs,
+    bench_backends,
+    summarize,
+    write_backend_record,
+)
 from repro.bench.cases import (
     DEFAULT_PARAMS,
     PER_ITERATION_ALGORITHMS,
@@ -17,6 +23,10 @@ from repro.bench.tables import (
 )
 
 __all__ = [
+    "backend_configs",
+    "bench_backends",
+    "summarize",
+    "write_backend_record",
     "DEFAULT_PARAMS",
     "PER_ITERATION_ALGORITHMS",
     "PreparedCase",

@@ -8,7 +8,12 @@ from repro.core.engine import (
     run_graph_program,
 )
 from repro.core.graph_program import EdgeDirection, GraphProgram, SemiringProgram
-from repro.core.options import ABLATION_LADDER, DEFAULT_OPTIONS, EngineOptions
+from repro.core.options import (
+    ABLATION_LADDER,
+    DEFAULT_OPTIONS,
+    KNOWN_BACKENDS,
+    EngineOptions,
+)
 from repro.core.semiring import (
     MAX_TIMES,
     MIN_FIRST,
@@ -29,6 +34,7 @@ __all__ = [
     "EngineOptions",
     "DEFAULT_OPTIONS",
     "ABLATION_LADDER",
+    "KNOWN_BACKENDS",
     "IterationStats",
     "RunStats",
     "Workspace",

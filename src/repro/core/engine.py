@@ -16,9 +16,41 @@ The loop ends when no vertices are active or after
 paper's ``run_graph_program(&inst, G, -1, &workspace)``).
 
 The engine exposes rich per-iteration statistics (message counts, edges
-processed, optional per-partition work) because the multicore simulation
-and the Figure 5–7 benchmarks are driven by the *measured* work
-distribution of real runs.
+processed, per-block kernel choices, optional per-partition work) because
+the multicore simulation and the Figure 5–7 benchmarks are driven by the
+*measured* work distribution of real runs.
+
+Execution backends & workspace reuse
+------------------------------------
+
+The SpMV phase is dispatched through a pluggable executor
+(:mod:`repro.exec`), selected by ``options.backend``:
+
+- ``"serial"``   — blocks run in the calling thread (the reference
+  schedule, and the only schedule for programs without batch hooks),
+- ``"threaded"`` — blocks run on a thread pool; NumPy's kernels release
+  the GIL, so the per-block gathers/reductions overlap on real cores,
+- ``"process"``  — blocks run on a process pool; the DCSC blocks are
+  shipped to the workers once per workspace and each superstep's
+  frontier/properties are broadcast through shared memory.
+
+Partitions own disjoint output row ranges (section 4.4.1), so block
+results merge without locks and every backend produces bitwise-identical
+algorithm outputs.  An executor that cannot run a program (e.g. the
+process backend with object-valued properties) is transparently replaced
+by the serial schedule for that run; ``RunStats.backend`` records the
+schedule actually used.
+
+With ``options.reuse_workspace`` (default on) the engine keeps a
+:class:`~repro.exec.workspace.SuperstepWorkspace`: the ``x``/``y``
+sparse vectors, per-block edge scratch buffers and the blocks' cached
+``col_expanded()``/``dst_groups()`` products are allocated once — in
+:func:`graph_program_init` when the caller holds a :class:`Workspace`,
+else once per run — and reset in place each iteration, eliminating the
+per-superstep allocation churn of the naive loop.  Each superstep's
+per-block kernel choices (``scalar`` / ``sparse-gather`` /
+``dense-pull``, see :func:`repro.core.spmv.select_kernel`) are recorded
+in ``IterationStats.kernel_counts``.
 """
 
 from __future__ import annotations
@@ -30,8 +62,9 @@ import numpy as np
 
 from repro.core.graph_program import EdgeDirection, GraphProgram
 from repro.core.options import DEFAULT_OPTIONS, EngineOptions
-from repro.core.spmv import PartitionWork, spmv_fused, spmv_scalar
+from repro.core.spmv import PartitionWork, spmv_scalar
 from repro.errors import ConvergenceError, ProgramError
+from repro.exec import SerialExecutor, SuperstepWorkspace, create_executor
 from repro.graph.graph import Graph
 from repro.vector.sparse_vector import BitvectorVector, make_sparse_vector
 
@@ -48,6 +81,9 @@ class IterationStats:
     activated: int
     seconds: float
     partition_work: list[PartitionWork] = field(default_factory=list)
+    #: How many blocks ran each fused kernel this superstep
+    #: (``{"scalar": 3, "dense-pull": 5, ...}``; empty on the scalar path).
+    kernel_counts: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -58,6 +94,10 @@ class RunStats:
     total_seconds: float = 0.0
     converged: bool = False
     used_fused_path: bool = False
+    #: Execution backend that actually ran the SpMV blocks (may differ
+    #: from ``options.backend`` when the program forced a serial
+    #: fallback, e.g. object-valued properties on the process backend).
+    backend: str = "serial"
 
     @property
     def n_supersteps(self) -> int:
@@ -76,21 +116,59 @@ class RunStats:
             return 0.0
         return self.total_seconds / len(self.iterations)
 
+    def kernel_totals(self) -> dict[str, int]:
+        """Fused kernel selections summed over all supersteps."""
+        totals: dict[str, int] = {}
+        for it in self.iterations:
+            for kernel, count in it.kernel_counts.items():
+                totals[kernel] = totals.get(kernel, 0) + count
+        return totals
+
 
 class Workspace:
-    """Reusable engine buffers, the paper's ``graph_program_init`` result.
+    """Reusable engine state, the paper's ``graph_program_init`` result.
 
-    Holds the partitioned matrix views a program needs so repeated runs on
-    the same graph (e.g. the two phases of triangle counting, benchmark
-    repetitions) skip partitioning.
+    Holds the partitioned matrix views a program needs, the persistent
+    :class:`~repro.exec.workspace.SuperstepWorkspace` (message/result
+    vectors + per-block scratch, allocated once and reset in place every
+    superstep) and the execution backend's worker pool, so repeated runs
+    on the same graph (e.g. the two phases of triangle counting,
+    benchmark repetitions) skip partitioning, allocation and pool
+    startup.  Close it (or use it as a context manager) to release
+    executor resources; the serial backend holds none.
     """
 
     def __init__(
         self, graph: Graph, program: GraphProgram, options: EngineOptions
     ) -> None:
         self.graph = graph
+        self.program = program
         self.options = options
         self.views = _matrix_views(graph, program.direction, options)
+        self.executor = create_executor(options)
+        fused = options.fused and options.use_bitvector and program.supports_fused()
+        # The process backend's workers hold their own scratch and warm
+        # their own caches; building them parent-side too would only
+        # double the memory footprint.
+        build_scratch = fused and self.executor.name != "process"
+        self.superstep: SuperstepWorkspace | None = (
+            SuperstepWorkspace(
+                graph.n_vertices, program, options, self.views,
+                fused=build_scratch,
+            )
+            if options.reuse_workspace
+            else None
+        )
+
+    def close(self) -> None:
+        """Release executor resources (pools, shared memory)."""
+        self.executor.close()
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def _matrix_views(graph: Graph, direction: EdgeDirection, options: EngineOptions):
@@ -110,7 +188,7 @@ def _matrix_views(graph: Graph, direction: EdgeDirection, options: EngineOptions
 def graph_program_init(
     graph: Graph, program: GraphProgram, options: EngineOptions = DEFAULT_OPTIONS
 ) -> Workspace:
-    """Pre-build the matrix views for ``program`` on ``graph``."""
+    """Pre-build the matrix views and superstep buffers for ``program``."""
     program.validate()
     return Workspace(graph, program, options)
 
@@ -135,7 +213,8 @@ def run_graph_program(
     options:
         Engine configuration (see :class:`repro.core.options.EngineOptions`).
     workspace:
-        Optional pre-built :class:`Workspace` (avoids re-partitioning).
+        Optional pre-built :class:`Workspace` (avoids re-partitioning,
+        re-allocation and executor pool startup across runs).
     counters:
         Optional event counter sink (``repro.perf.counters.EventCounters``).
     safety_cap:
@@ -146,144 +225,226 @@ def run_graph_program(
     program.validate()
     if workspace is not None and workspace.graph is not graph:
         raise ProgramError("workspace was built for a different graph")
+    # A workspace built for another edge direction holds the wrong matrix
+    # views; rebuild them (cheap — the graph caches partitioned views).
     views = (
         workspace.views
         if workspace is not None
+        and workspace.program.direction is program.direction
         else _matrix_views(graph, program.direction, options)
     )
     use_fused = (
         options.fused and options.use_bitvector and program.supports_fused()
     )
-    stats = RunStats(used_fused_path=use_fused)
+
+    # -- Executor selection (fused path only; the scalar path is a pure
+    # Python loop that no backend accelerates).  The run's options win:
+    # a workspace built for another backend contributes its views but
+    # not its executor.
+    executor = None
+    owns_executor = False
+    if use_fused:
+        if (
+            workspace is not None
+            and workspace.executor.name == options.backend
+            and workspace.executor.n_workers == options.n_workers
+        ):
+            executor = workspace.executor
+        else:
+            executor = create_executor(options)
+            owns_executor = True
+        if not executor.supports(program):
+            if owns_executor:
+                executor.close()
+                owns_executor = False
+            executor = SerialExecutor(options.n_workers)
+
+    # -- Superstep workspace: reuse the caller's when its shape fits,
+    # else build one for this run (still amortized over all supersteps).
+    needs_scratch = use_fused and executor.name != "process"
+    # The run's options win here too: reuse_workspace=False must not
+    # silently adopt a prebuilt workspace's superstep buffers.
+    superstep = (
+        workspace.superstep
+        if workspace is not None and options.reuse_workspace
+        else None
+    )
+    if superstep is not None and not superstep.matches(
+        graph.n_vertices, program, options, views, needs_scratch=needs_scratch
+    ):
+        # Wrong specs, representation, view set (per-block scratch is
+        # sized for specific blocks) or missing scratch this run's
+        # executor consumes — build a run-local one instead.
+        superstep = None
+    if superstep is None and options.reuse_workspace:
+        superstep = SuperstepWorkspace(
+            graph.n_vertices,
+            program,
+            options,
+            views,
+            # Process workers hold their own scratch; see Workspace.
+            fused=needs_scratch,
+        )
+
+    stats = RunStats(
+        used_fused_path=use_fused,
+        backend=executor.name if executor is not None else "serial",
+    )
     properties = graph.vertex_properties
     n = graph.n_vertices
     start = time.perf_counter()
     iteration = 0
-    while True:
-        if options.max_iterations != -1 and iteration >= options.max_iterations:
-            break
-        if options.max_iterations == -1 and iteration >= safety_cap:
-            raise ConvergenceError(
-                f"program did not quiesce within {safety_cap} supersteps"
-            )
-        active_idx = np.flatnonzero(graph.active)
-        if active_idx.size == 0:
-            stats.converged = True
-            break
-        t_iter = time.perf_counter()
+    try:
+        if executor is not None:
+            executor.prepare(views, program)
+        while True:
+            if options.max_iterations != -1 and iteration >= options.max_iterations:
+                break
+            if options.max_iterations == -1 and iteration >= safety_cap:
+                raise ConvergenceError(
+                    f"program did not quiesce within {safety_cap} supersteps"
+                )
+            active_idx = np.flatnonzero(graph.active)
+            if active_idx.size == 0:
+                stats.converged = True
+                break
+            t_iter = time.perf_counter()
 
-        # -- Send phase (Algorithm 2 lines 3-5) --------------------------
-        x = make_sparse_vector(
-            n, program.message_spec, use_bitvector=options.use_bitvector
-        )
-        if use_fused:
-            sent = program.send_message_batch(
-                properties.data[active_idx], active_idx
-            )
-            if isinstance(sent, tuple):
-                send_mask, messages = sent
-                senders = active_idx[np.asarray(send_mask, dtype=bool)]
-                messages = np.asarray(messages)[np.asarray(send_mask, dtype=bool)]
+            # -- Send phase (Algorithm 2 lines 3-5) ----------------------
+            if superstep is not None:
+                superstep.reset()
+                x = superstep.x
+                y = superstep.y
             else:
-                senders, messages = active_idx, np.asarray(sent)
-            x.scatter(senders, messages)
-            if counters is not None:
-                counters.record(
-                    user_calls=1,
-                    element_ops=int(active_idx.size),
-                    random_accesses=int(senders.shape[0]),
+                x = make_sparse_vector(
+                    n, program.message_spec, use_bitvector=options.use_bitvector
                 )
-        else:
-            for v in active_idx:
-                message = program.send_message(properties.get(int(v)))
-                if message is not None:
-                    x.set(int(v), message)
-            if counters is not None:
-                counters.record(
-                    user_calls=int(active_idx.size),
-                    random_accesses=int(active_idx.size),
+                y = make_sparse_vector(
+                    n, program.result_spec, use_bitvector=options.use_bitvector
                 )
-        messages_sent = x.nnz
-
-        # -- SpMV phase (Algorithm 2 line 6 / Algorithm 1) ----------------
-        y = make_sparse_vector(
-            n, program.result_spec, use_bitvector=options.use_bitvector
-        )
-        partition_work: list[PartitionWork] | None = (
-            [] if options.record_partition_stats else None
-        )
-        edges = 0
-        for view in views:
+                if counters is not None:
+                    counters.record(allocations=2)
             if use_fused:
-                assert isinstance(x, BitvectorVector)
-                assert isinstance(y, BitvectorVector)
-                edges += spmv_fused(
-                    view, x, y, program, properties, counters, partition_work
+                sent = program.send_message_batch(
+                    properties.data[active_idx], active_idx
                 )
-            else:
-                edges += spmv_scalar(
-                    view, x, y, program, properties, counters, partition_work
-                )
-
-        # -- Apply phase (Algorithm 2 lines 7-13) -------------------------
-        graph.active[:] = False
-        if use_fused:
-            updated_idx = y.indices()
-            if updated_idx.size:
-                reduced = y.values[updated_idx]
-                old_props = properties.data[updated_idx]
-                if old_props.base is not None:
-                    old_props = old_props.copy()
-                new_props = program.apply_batch(reduced, old_props)
-                properties.data[updated_idx] = new_props
-                unchanged = program.properties_equal_batch(old_props, new_props)
-                activated_idx = updated_idx[~unchanged]
-                graph.active[activated_idx] = True
-                vertices_updated = int(updated_idx.size)
-                activated = int(activated_idx.size)
+                if isinstance(sent, tuple):
+                    send_mask, messages = sent
+                    senders = active_idx[np.asarray(send_mask, dtype=bool)]
+                    messages = np.asarray(messages)[np.asarray(send_mask, dtype=bool)]
+                else:
+                    senders, messages = active_idx, np.asarray(sent)
+                x.scatter(senders, messages)
                 if counters is not None:
                     counters.record(
-                        user_calls=2,
-                        element_ops=vertices_updated,
-                        random_accesses=2 * vertices_updated,
+                        user_calls=1,
+                        element_ops=int(active_idx.size),
+                        random_accesses=int(senders.shape[0]),
                     )
             else:
-                vertices_updated = activated = 0
-        else:
-            vertices_updated = activated = 0
-            for k, reduced_value in y.items():
-                old_prop = properties.get(k)
-                if isinstance(old_prop, np.ndarray):
-                    old_prop = old_prop.copy()
-                new_prop = program.apply(reduced_value, old_prop)
-                properties.set(k, new_prop)
-                vertices_updated += 1
-                if not program.properties_equal(old_prop, new_prop):
-                    graph.active[k] = True
-                    activated += 1
-            if counters is not None:
-                counters.record(
-                    user_calls=vertices_updated,
-                    random_accesses=2 * vertices_updated,
-                )
+                for v in active_idx:
+                    message = program.send_message(properties.get(int(v)))
+                    if message is not None:
+                        x.set(int(v), message)
+                if counters is not None:
+                    counters.record(
+                        user_calls=int(active_idx.size),
+                        random_accesses=int(active_idx.size),
+                    )
+            messages_sent = x.nnz
 
-        if program.reactivate_all:
-            graph.active[:] = True
-            activated = graph.n_vertices
-
-        stats.iterations.append(
-            IterationStats(
-                iteration=iteration,
-                active_before=int(active_idx.size),
-                messages_sent=messages_sent,
-                edges_processed=edges,
-                vertices_updated=vertices_updated,
-                activated=activated,
-                seconds=time.perf_counter() - t_iter,
-                partition_work=partition_work or [],
+            # -- SpMV phase (Algorithm 2 line 6 / Algorithm 1) ------------
+            partition_work: list[PartitionWork] | None = (
+                [] if options.record_partition_stats else None
             )
-        )
-        iteration += 1
+            kernel_counts: dict[str, int] = {}
+            edges = 0
+            for view_index, view in enumerate(views):
+                if use_fused:
+                    assert isinstance(x, BitvectorVector)
+                    assert isinstance(y, BitvectorVector)
+                    edges += executor.spmv(
+                        view_index,
+                        view,
+                        x,
+                        y,
+                        program,
+                        properties,
+                        counters,
+                        partition_work,
+                        kernel_counts,
+                        superstep.view_scratch(view_index)
+                        if superstep is not None
+                        else None,
+                    )
+                else:
+                    edges += spmv_scalar(
+                        view, x, y, program, properties, counters, partition_work
+                    )
+
+            # -- Apply phase (Algorithm 2 lines 7-13) ---------------------
+            graph.active[:] = False
+            if use_fused:
+                updated_idx = y.indices()
+                if updated_idx.size:
+                    reduced = y.values[updated_idx]
+                    old_props = properties.data[updated_idx]
+                    if old_props.base is not None:
+                        old_props = old_props.copy()
+                    new_props = program.apply_batch(reduced, old_props)
+                    properties.data[updated_idx] = new_props
+                    unchanged = program.properties_equal_batch(old_props, new_props)
+                    activated_idx = updated_idx[~unchanged]
+                    graph.active[activated_idx] = True
+                    vertices_updated = int(updated_idx.size)
+                    activated = int(activated_idx.size)
+                    if counters is not None:
+                        counters.record(
+                            user_calls=2,
+                            element_ops=vertices_updated,
+                            random_accesses=2 * vertices_updated,
+                        )
+                else:
+                    vertices_updated = activated = 0
+            else:
+                vertices_updated = activated = 0
+                for k, reduced_value in y.items():
+                    old_prop = properties.get(k)
+                    if isinstance(old_prop, np.ndarray):
+                        old_prop = old_prop.copy()
+                    new_prop = program.apply(reduced_value, old_prop)
+                    properties.set(k, new_prop)
+                    vertices_updated += 1
+                    if not program.properties_equal(old_prop, new_prop):
+                        graph.active[k] = True
+                        activated += 1
+                if counters is not None:
+                    counters.record(
+                        user_calls=vertices_updated,
+                        random_accesses=2 * vertices_updated,
+                    )
+
+            if program.reactivate_all:
+                graph.active[:] = True
+                activated = graph.n_vertices
+
+            stats.iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    active_before=int(active_idx.size),
+                    messages_sent=messages_sent,
+                    edges_processed=edges,
+                    vertices_updated=vertices_updated,
+                    activated=activated,
+                    seconds=time.perf_counter() - t_iter,
+                    partition_work=partition_work or [],
+                    kernel_counts=kernel_counts,
+                )
+            )
+            iteration += 1
+    finally:
+        if owns_executor:
+            executor.close()
 
     stats.total_seconds = time.perf_counter() - start
     if not stats.converged and options.max_iterations != -1:

@@ -16,6 +16,19 @@ Each knob corresponds to one bar of the Figure 7 ablation:
    number of partitions equals the number of threads and assignment is
    static.
 
+Beyond the paper's knobs, the engine's SpMV can be scheduled onto real
+parallel backends (:mod:`repro.exec`):
+
+5. ``backend`` / ``n_workers`` — which executor runs the per-block SpMV
+   kernels: ``"serial"`` (calling thread), ``"threaded"`` (thread pool
+   over GIL-releasing NumPy kernels) or ``"process"`` (shared-memory
+   process pool).  Orthogonal to ``n_threads``, which drives the paper's
+   *simulated* multicore model.
+6. ``reuse_workspace`` — allocate the superstep vectors and per-block
+   scratch buffers once per run (or once per ``graph_program_init``
+   workspace) and reset them in place each iteration, instead of
+   allocating fresh ones every superstep.
+
 The paper notes the only user-visible tunables are the thread count and the
 number of matrix partitions; everything else defaults on.
 """
@@ -25,6 +38,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ProgramError
+
+#: Execution backends the engine can dispatch SpMV work through.  Kept
+#: here (not imported from ``repro.exec``) so option validation stays
+#: dependency-free and fails at construction time, not deep inside the
+#: engine.  ``repro.exec.BACKENDS`` asserts the same set.
+KNOWN_BACKENDS: tuple[str, ...] = ("serial", "threaded", "process")
 
 
 @dataclass(frozen=True)
@@ -50,6 +69,15 @@ class EngineOptions:
     #: Record per-partition work each superstep (feeds the parallel model
     #: and Figure 5/7; cheap, but off by default for micro-benchmarks).
     record_partition_stats: bool = False
+    #: Execution backend for the fused SpMV blocks (see ``repro.exec``):
+    #: ``"serial"``, ``"threaded"`` or ``"process"``.
+    backend: str = "serial"
+    #: Worker count for the threaded/process backends (ignored by serial).
+    n_workers: int = 1
+    #: Keep the superstep message/result vectors and per-block scratch
+    #: buffers alive across iterations, resetting them in place, instead
+    #: of reallocating every superstep.
+    reuse_workspace: bool = True
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
@@ -68,6 +96,13 @@ class EngineOptions:
                 f"max_iterations must be -1 (until convergence) or positive, "
                 f"got {self.max_iterations}"
             )
+        if self.backend not in KNOWN_BACKENDS:
+            raise ProgramError(
+                f"unknown execution backend {self.backend!r}; "
+                f"available: {', '.join(KNOWN_BACKENDS)}"
+            )
+        if self.n_workers < 1:
+            raise ProgramError(f"n_workers must be >= 1, got {self.n_workers}")
 
     @property
     def n_partitions(self) -> int:

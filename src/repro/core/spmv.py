@@ -1,6 +1,6 @@
 """Generalized sparse matrix–sparse vector multiplication (Algorithm 1).
 
-Three code paths implement the same semantics:
+Two engine paths implement the same semantics:
 
 - :func:`spmv_scalar` — a literal transcription of Algorithm 1: walk the
   non-empty columns of each DCSC block, test column membership in the
@@ -10,25 +10,44 @@ Three code paths implement the same semantics:
   *+bitvector* configuration (membership drops from a binary search to a
   bit probe).
 
-- :func:`spmv_fused` — the *+ipo* configuration: per-edge work is executed
-  through the program's batch hooks on aligned numpy arrays (gather
-  messages, process all edges of a block at once, segment-reduce by
-  destination).  This removes per-edge Python dispatch exactly as ``-ipo``
-  inlining removes per-edge call overhead in the C++ original.
+- :func:`run_block` — the fused per-block kernel (the *+ipo* analogue):
+  per-edge work is executed through the program's batch hooks on aligned
+  numpy arrays.  :func:`spmv_fused` drives it serially over a partitioned
+  view; the executors in :mod:`repro.exec` drive it across threads or
+  processes, exploiting the disjoint output row ranges of the blocks.
 
-Both paths accumulate into the same output vector ``y`` so a superstep may
-chain several matrix views (ALL_EDGES programs multiply by both ``A^T`` and
-``A``).
+Kernel selection
+----------------
 
-Per-partition work (edges processed, wall seconds) can be recorded into a
-:class:`PartitionWork` list; the simulated-multicore model replays that
-schedule (see DESIGN.md substitution table).
+Each (block, frontier) pair picks one of three kernels via
+:func:`select_kernel`, driven by the frontier's density relative to the
+block's non-empty columns and the block's measured nnz:
+
+- ``"scalar"``       — estimated edge count is tiny; a per-edge Python
+  loop beats the fixed setup cost of the vectorized pipeline,
+- ``"dense-pull"``   — the frontier covers all (or most) of the block's
+  columns; touch every edge, reusing the block's cached row grouping and
+  masking silent sources to the program's reduce identity,
+- ``"sparse-gather"``— the default: expand the active columns' edge
+  spans, gather messages and segment-reduce by destination.
+
+The chosen kernel is recorded in each :class:`PartitionWork` entry and
+aggregated into ``IterationStats.kernel_counts`` so benchmarks can
+attribute wins to kernel choice.
+
+All kernels accumulate into the same output vector ``y`` so a superstep
+may chain several matrix views (ALL_EDGES programs multiply by both
+``A^T`` and ``A``).  Kernels accept an optional per-block scratch object
+(see :class:`repro.exec.workspace.BlockScratch`) holding preallocated
+edge-sized buffers; with scratch the hot path performs its gathers with
+``np.take(..., out=...)`` and in-place prefix sums instead of allocating
+fresh arrays every superstep.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -36,6 +55,17 @@ from repro.core.graph_program import GraphProgram
 from repro.matrix.partition import PartitionedMatrix
 from repro.vector.dense import PropertyArray
 from repro.vector.sparse_vector import BitvectorVector, SparseVector
+
+#: Kernel names recorded into PartitionWork / IterationStats.
+KERNEL_SCALAR = "scalar"
+KERNEL_SPARSE = "sparse-gather"
+KERNEL_DENSE = "dense-pull"
+KERNEL_NAMES = (KERNEL_SCALAR, KERNEL_SPARSE, KERNEL_DENSE)
+
+#: Frontiers whose *estimated* edge count is at or below this run the
+#: per-edge scalar kernel: below it, numpy's fixed per-call setup cost
+#: exceeds the per-edge Python dispatch it saves.
+SCALAR_KERNEL_MAX_EDGES = 32
 
 
 @dataclass
@@ -46,6 +76,26 @@ class PartitionWork:
     edges: int
     active_columns: int
     seconds: float
+    kernel: str = ""
+
+
+@dataclass
+class BlockResult:
+    """Output of one per-block fused kernel (before merging into ``y``).
+
+    ``unique_dst``/``reduced`` hold the block's destination-grouped
+    reduction; blocks own disjoint row ranges, so results from different
+    blocks never alias and can be merged without locks in any order.
+    """
+
+    partition: int
+    unique_dst: np.ndarray | None
+    reduced: np.ndarray | None
+    edges: int
+    active_columns: int
+    kernel: str
+    seconds: float
+    events: dict = field(default_factory=dict)
 
 
 def _expand_spans(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
@@ -62,6 +112,84 @@ def _expand_spans(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths) + np.repeat(
         starts, lengths
     )
+
+
+def _span_heads(lengths: np.ndarray) -> np.ndarray:
+    """Output positions where each span begins (exclusive prefix sum)."""
+    heads = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=heads[1:])
+    return heads
+
+
+def _expand_spans_into(
+    starts: np.ndarray, lengths: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Allocation-light :func:`_expand_spans` writing into ``out[:total]``.
+
+    Builds the concatenated aranges as a cumulative sum of a delta array
+    constructed in place: within a span each step is +1; at a span head
+    the delta jumps to the new start.  Only O(n_spans) temporaries.
+    Falls back to allocation when ``out`` is too small (never truncates).
+
+    Precondition: every length must be >= 1 (zero-length spans collapse
+    the delta writes at span heads and corrupt the output).  DCSC
+    guarantees this — ``validate()`` rejects empty ``jc`` columns — so
+    callers slicing ``cp`` spans of active columns always satisfy it;
+    use :func:`_expand_spans` for inputs that may contain empty spans.
+    """
+    total = int(lengths.sum())
+    if total > out.shape[0]:
+        return _expand_spans(starts, lengths)
+    seg = out[:total]
+    if total == 0:
+        return seg
+    heads = _span_heads(lengths)
+    seg[:] = 1
+    seg[0] = starts[0]
+    if starts.shape[0] > 1:
+        seg[heads[1:]] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    np.cumsum(seg, out=seg)
+    return seg
+
+
+def _repeat_into(
+    values: np.ndarray, lengths: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Allocation-light ``np.repeat(values, lengths)`` into ``out[:total]``.
+
+    Same delta/cumsum trick as :func:`_expand_spans_into` with step 0
+    inside each span; falls back to allocation when ``out`` is too small.
+    Same precondition: every length must be >= 1 (DCSC guarantees it).
+    """
+    total = int(lengths.sum())
+    if total > out.shape[0]:
+        return np.repeat(values, lengths)
+    seg = out[:total]
+    if total == 0:
+        return seg
+    heads = _span_heads(lengths)
+    seg[:] = 0
+    seg[0] = values[0]
+    if values.shape[0] > 1:
+        seg[heads[1:]] = np.diff(values)
+    np.cumsum(seg, out=seg)
+    return seg
+
+
+def _gather(source: np.ndarray, idx: np.ndarray, buffer: np.ndarray | None):
+    """``source[idx]`` through a preallocated buffer when one fits.
+
+    Falls back to fancy indexing (fresh allocation) when the buffer is
+    missing or does not match the source's dtype/entry shape.
+    """
+    if (
+        buffer is not None
+        and buffer.dtype == source.dtype
+        and buffer.shape[1:] == source.shape[1:]
+        and idx.shape[0] <= buffer.shape[0]
+    ):
+        return np.take(source, idx, axis=0, out=buffer[: idx.shape[0]])
+    return source[idx]
 
 
 def _reduce_sorted_groups(
@@ -123,22 +251,29 @@ def _reduce_by_destination(
     edge_dst: np.ndarray,
     block,
     full_coverage: bool,
+    scratch=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Destination-grouped reduction, choosing the cheapest valid kernel.
 
     - full-frontier SpMVs reuse the block's cached row grouping (no
-      per-superstep sort),
-    - additive numeric reductions use ``bincount`` (O(edges), no sort),
+      per-superstep sort, and a ``reduceat`` over one gathered array beats
+      the two ``bincount`` passes it replaces),
+    - partial-frontier additive numeric reductions use ``bincount``
+      (O(edges), no sort),
     - everything else falls back to sort + reduceat / scalar reduce.
+
+    The choice depends only on the program and the coverage — never on
+    scratch availability — so results are bitwise identical with and
+    without workspace reuse (float reductions are order-sensitive).
     """
     results = np.asarray(results)
-    if (
-        full_coverage
-        and not (program.reduce_ufunc is np.add and results.dtype != object)
-    ):
+    if full_coverage:
         order, group_starts, unique_rows = block.dst_groups()
+        sorted_results = _gather(
+            results, order, scratch.sorted_results if scratch is not None else None
+        )
         return unique_rows, _reduce_sorted_groups(
-            program, results[order], group_starts, results.shape[0]
+            program, sorted_results, group_starts, results.shape[0]
         )
     if program.reduce_ufunc is np.add and results.dtype != object:
         lo, hi = block.row_range
@@ -189,6 +324,295 @@ def _combine_into(
             y.set(k, program.reduce(y.get(k), clash_val[t]))
 
 
+# ----------------------------------------------------------------------
+# Kernel selection + per-block fused kernels
+# ----------------------------------------------------------------------
+def _has_scalar_hooks(program: GraphProgram) -> bool:
+    """True when the program overrides the per-edge scalar hooks.
+
+    ``supports_fused`` only requires the batch surface; a batch-only
+    program must never be routed to the scalar kernel.
+    """
+    cls = type(program)
+    return (
+        cls.process_message is not GraphProgram.process_message
+        and cls.reduce is not GraphProgram.reduce
+    )
+
+
+def select_kernel(
+    block, n_active: int, program: GraphProgram, message_spec, result_spec
+) -> str:
+    """Pick the fused kernel for one (block, frontier) pair.
+
+    Driven by the frontier density relative to the block's non-empty
+    columns (``n_active / block.nzc``) and the block's nnz (which fixes
+    the expected edge count of the multiply).
+    """
+    if n_active >= block.nzc:
+        return KERNEL_DENSE  # full coverage: every stored edge fires
+    estimated_edges = (block.nnz * n_active) // max(block.nzc, 1)
+    if (
+        estimated_edges <= SCALAR_KERNEL_MAX_EDGES
+        and result_spec.is_scalar
+        and result_spec.dtype != object
+        and message_spec.dtype != object
+        and _has_scalar_hooks(program)
+    ):
+        return KERNEL_SCALAR
+    if (
+        program.reduce_identity is not None
+        and message_spec.is_scalar
+        and message_spec.dtype != object
+        and 2 * n_active > block.nzc
+    ):
+        return KERNEL_DENSE  # masked pull over every edge
+    return KERNEL_SPARSE
+
+
+def _scalar_block_kernel(
+    block,
+    active_pos: np.ndarray,
+    x_values: np.ndarray,
+    program: GraphProgram,
+    properties_data: np.ndarray,
+    result_spec,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Per-edge Python loop over the active columns of a tiny frontier.
+
+    Accumulation order matches the vectorized kernels (ascending column,
+    ascending row within a destination group), so results are bitwise
+    identical to the batch path.
+    """
+    acc: dict[int, object] = {}
+    edges = 0
+    for pos in active_pos:
+        pos = int(pos)
+        xj = x_values[block.jc[pos]]
+        lo, hi = int(block.cp[pos]), int(block.cp[pos + 1])
+        for t in range(lo, hi):
+            k = int(block.ir[t])
+            result = program.process_message(xj, block.num[t], properties_data[k])
+            if k in acc:
+                acc[k] = program.reduce(acc[k], result)
+            else:
+                acc[k] = result
+            edges += 1
+    if not acc:
+        return np.zeros(0, dtype=np.int64), result_spec.allocate(0), 0
+    unique_dst = np.fromiter(sorted(acc), dtype=np.int64, count=len(acc))
+    reduced = result_spec.allocate(unique_dst.shape[0])
+    for i in range(unique_dst.shape[0]):
+        reduced[i] = acc[int(unique_dst[i])]
+    return unique_dst, reduced, edges
+
+
+def run_block(
+    partition: int,
+    block,
+    x_mask: np.ndarray,
+    x_values: np.ndarray,
+    program: GraphProgram,
+    properties_data: np.ndarray,
+    scratch=None,
+) -> BlockResult:
+    """Fused generalized SpMV over one DCSC block.
+
+    Pure function of its arguments: reads the frontier (``x_mask`` /
+    ``x_values``) and vertex properties, returns the block's
+    destination-grouped reduction as a :class:`BlockResult`.  It never
+    touches shared output state, which is what lets the executors in
+    :mod:`repro.exec` run blocks on worker threads or processes.
+    """
+    t0 = time.perf_counter()
+    if block.nzc == 0:
+        return BlockResult(
+            partition, None, None, 0, 0, "", time.perf_counter() - t0
+        )
+    active_pos = np.flatnonzero(x_mask[block.jc])
+    n_active = int(active_pos.size)
+    if n_active == 0:
+        return BlockResult(
+            partition, None, None, 0, 0, "", time.perf_counter() - t0
+        )
+    kernel = select_kernel(
+        block, n_active, program, program.message_spec, program.result_spec
+    )
+    full_coverage = n_active == block.nzc
+
+    if kernel == KERNEL_SCALAR:
+        unique_dst, reduced, edges = _scalar_block_kernel(
+            block, active_pos, x_values, program, properties_data,
+            program.result_spec,
+        )
+        return BlockResult(
+            partition,
+            unique_dst,
+            reduced,
+            edges,
+            n_active,
+            kernel,
+            time.perf_counter() - t0,
+            events=dict(
+                user_calls=2 * edges,
+                element_ops=edges,
+                random_accesses=2 * edges + n_active,
+                sequential_bytes=edges * 16,
+                messages=n_active,
+                allocations=1,
+            ),
+        )
+
+    if kernel == KERNEL_DENSE and not full_coverage:
+        # Masked dense pull: touch every edge, masking silent sources to
+        # the reduce identity; reuse the cached row grouping instead of
+        # sorting the frontier's edges.  Whether a row received a real
+        # message is tracked explicitly (a real reduced value may equal
+        # the identity sentinel, e.g. a saturated min-plus distance), so
+        # rows are kept by received-mask, never by value comparison.
+        src_cols = block.col_expanded()
+        sent = _gather(x_mask, src_cols, scratch.sent if scratch else None)
+        messages = _gather(
+            x_values, src_cols, scratch.messages if scratch else None
+        )
+        # ``messages`` is either a fancy-indexed copy or a scratch view,
+        # never a view of ``x_values`` — masking in place is safe.
+        np.copyto(messages, program.reduce_identity, where=~sent)
+        dst_props = _gather(
+            properties_data, block.ir, scratch.dst_props if scratch else None
+        )
+        results = np.asarray(
+            program.process_message_batch(messages, block.num, dst_props)
+        )
+        order, group_starts, unique_rows = block.dst_groups()
+        sorted_results = _gather(
+            results, order, scratch.sorted_results if scratch else None
+        )
+        reduced_all = _reduce_sorted_groups(
+            program, sorted_results, group_starts, block.nnz
+        )
+        sent_sorted = _gather(
+            sent, order, scratch.sent_sorted if scratch else None
+        )
+        received = np.logical_or.reduceat(sent_sorted, group_starts)
+        edges = block.nnz
+        return BlockResult(
+            partition,
+            unique_rows[received],
+            reduced_all[received],
+            edges,
+            n_active,
+            kernel,
+            time.perf_counter() - t0,
+            events=dict(
+                user_calls=6,
+                element_ops=3 * edges,
+                random_accesses=edges + int(received.sum()),
+                sequential_bytes=edges * 24,
+                messages=n_active,
+                allocations=2 if scratch is not None else 6,
+            ),
+        )
+
+    # Shared packed path: dense-pull with full coverage walks the whole
+    # block; sparse-gather expands only the active columns' spans.
+    if full_coverage:
+        edge_dst = block.ir
+        edge_vals = block.num
+        src_cols = block.col_expanded()
+        edges = block.nnz
+    else:
+        starts = block.cp[active_pos]
+        lengths = block.cp[active_pos + 1] - starts
+        if scratch is not None:
+            take = _expand_spans_into(starts, lengths, scratch.take)
+            src_cols = _repeat_into(
+                block.jc[active_pos], lengths, scratch.src_cols
+            )
+            edges = int(take.shape[0])
+            edge_dst = _gather(block.ir, take, scratch.edge_dst)
+            edge_vals = _gather(block.num, take, scratch.edge_vals)
+        else:
+            take = _expand_spans(starts, lengths)
+            edges = int(take.shape[0])
+            edge_dst = block.ir[take]
+            edge_vals = block.num[take]
+            src_cols = np.repeat(block.jc[active_pos], lengths)
+    if edges == 0:
+        return BlockResult(
+            partition, None, None, 0, n_active, kernel,
+            time.perf_counter() - t0,
+        )
+    results = program.process_edges_packed(
+        src_cols, edge_vals, edge_dst, properties_data
+    )
+    if results is None:
+        messages = _gather(
+            x_values, src_cols, scratch.messages if scratch else None
+        )
+        dst_props = _gather(
+            properties_data, edge_dst, scratch.dst_props if scratch else None
+        )
+        results = program.process_message_batch(messages, edge_vals, dst_props)
+    unique_dst, reduced = _reduce_by_destination(
+        program,
+        np.asarray(results),
+        edge_dst,
+        block,
+        full_coverage=full_coverage,
+        scratch=scratch,
+    )
+    return BlockResult(
+        partition,
+        unique_dst,
+        reduced,
+        edges,
+        n_active,
+        kernel,
+        time.perf_counter() - t0,
+        events=dict(
+            user_calls=6,
+            element_ops=2 * edges,
+            random_accesses=edges + int(unique_dst.shape[0]),
+            sequential_bytes=edges * 16,
+            messages=n_active,
+            allocations=2 if scratch is not None else 5,
+        ),
+    )
+
+
+def apply_block_result(
+    result: BlockResult,
+    y: BitvectorVector,
+    program: GraphProgram,
+    counters=None,
+    partition_work: list[PartitionWork] | None = None,
+    kernel_counts: dict[str, int] | None = None,
+) -> int:
+    """Merge one block's reduction into ``y`` and record its bookkeeping.
+
+    Returns the block's edge count.  Blocks own disjoint row ranges, so
+    merges commute; callers may apply results in any order.
+    """
+    if result.unique_dst is not None and result.unique_dst.size:
+        _combine_into(program, y, result.unique_dst, result.reduced)
+    if counters is not None and result.events:
+        counters.record(**result.events)
+    if partition_work is not None:
+        partition_work.append(
+            PartitionWork(
+                result.partition,
+                result.edges,
+                result.active_columns,
+                result.seconds,
+                result.kernel,
+            )
+        )
+    if kernel_counts is not None and result.kernel:
+        kernel_counts[result.kernel] = kernel_counts.get(result.kernel, 0) + 1
+    return result.edges
+
+
 def spmv_scalar(
     blocks: PartitionedMatrix,
     x: SparseVector,
@@ -200,35 +624,42 @@ def spmv_scalar(
 ) -> int:
     """Algorithm 1, literally.  Returns the number of edges processed."""
     total_edges = 0
+    # Empty frontier: no column can match, so skip the membership loop
+    # entirely (and charge zero probes — the counters model only events
+    # that actually happen).
+    frontier_empty = x.nnz == 0
     for p, block in enumerate(blocks):
         t0 = time.perf_counter()
         edges = 0
         active_cols = 0
-        for j, dst_rows, edge_vals in block.columns():
-            if j not in x:
-                continue
-            active_cols += 1
-            xj = x.get(j)
-            for t in range(dst_rows.shape[0]):
-                k = int(dst_rows[t])
-                result = program.process_message(
-                    xj, edge_vals[t], properties.get(k)
-                )
-                if k in y:
-                    y.set(k, program.reduce(y.get(k), result))
-                else:
-                    y.set(k, result)
-            edges += int(dst_rows.shape[0])
+        probes = 0
+        if not frontier_empty:
+            for j, dst_rows, edge_vals in block.columns():
+                probes += 1
+                if j not in x:
+                    continue
+                active_cols += 1
+                xj = x.get(j)
+                for t in range(dst_rows.shape[0]):
+                    k = int(dst_rows[t])
+                    result = program.process_message(
+                        xj, edge_vals[t], properties.get(k)
+                    )
+                    if k in y:
+                        y.set(k, program.reduce(y.get(k), result))
+                    else:
+                        y.set(k, result)
+                edges += int(dst_rows.shape[0])
         seconds = time.perf_counter() - t0
         total_edges += edges
         if counters is not None:
             # One process_message + one reduce-or-insert per edge, one
-            # membership probe per non-empty column, one property read and
-            # one scattered y update per edge.
+            # membership probe per column actually tested, one property
+            # read and one scattered y update per edge.
             counters.record(
                 user_calls=2 * edges,
                 element_ops=edges,
-                random_accesses=2 * edges + block.nzc,
+                random_accesses=2 * edges + probes,
                 sequential_bytes=edges * 16,
                 messages=active_cols,
             )
@@ -245,121 +676,33 @@ def spmv_fused(
     properties: PropertyArray,
     counters=None,
     partition_work: list[PartitionWork] | None = None,
+    *,
+    scratch=None,
+    kernel_counts: dict[str, int] | None = None,
 ) -> int:
-    """Vectorized generalized SpMV (the ``-ipo`` analogue).
+    """Vectorized generalized SpMV, serially over the partitions.
 
     Requires bitvector-backed vectors and a program implementing the batch
-    hooks.  Returns the number of edges processed.
+    hooks.  ``scratch`` optionally maps partition index to a
+    ``BlockScratch`` with preallocated edge buffers.  Returns the number
+    of edges processed.  The parallel executors in :mod:`repro.exec` run
+    the same :func:`run_block` kernel concurrently.
     """
     x_mask = x.valid_mask()
+    x_values = x.values
+    properties_data = properties.data
     total_edges = 0
     for p, block in enumerate(blocks):
-        t0 = time.perf_counter()
-        if block.nzc == 0:
-            if partition_work is not None:
-                partition_work.append(
-                    PartitionWork(p, 0, 0, time.perf_counter() - t0)
-                )
-            continue
-        active_pos = np.flatnonzero(x_mask[block.jc])
-        if active_pos.size == 0:
-            if partition_work is not None:
-                partition_work.append(
-                    PartitionWork(p, 0, 0, time.perf_counter() - t0)
-                )
-            continue
-        full_coverage = int(active_pos.size) == block.nzc
-        dense_frontier = (
-            not full_coverage
-            and program.reduce_identity is not None
-            and x.spec.dtype != object
-            and 2 * int(active_pos.size) > block.nzc
-        )
-        if full_coverage:
-            edge_dst = block.ir
-            edge_vals = block.num
-            src_cols = block.col_expanded()
-            edges = block.nnz
-        elif dense_frontier:
-            # Dense-frontier path: touch every edge, masking silent sources
-            # to the reduce identity; reuse the cached row grouping instead
-            # of sorting the frontier's edges.  Rows whose reduction stays
-            # at the identity received no real message and are dropped.
-            src_cols = block.col_expanded()
-            sent = x_mask[src_cols]
-            messages = np.where(sent, x.values[src_cols], program.reduce_identity)
-            results = program.process_message_batch(
-                messages, block.num, properties.data[block.ir]
-            )
-            order, group_starts, unique_rows = block.dst_groups()
-            reduced_all = _reduce_sorted_groups(
-                program, np.asarray(results)[order], group_starts, block.nnz
-            )
-            keep = reduced_all != program.reduce_identity
-            _combine_into(program, y, unique_rows[keep], reduced_all[keep])
-            edges = block.nnz
-            seconds = time.perf_counter() - t0
-            total_edges += edges
-            if counters is not None:
-                counters.record(
-                    user_calls=6,
-                    element_ops=3 * edges,
-                    random_accesses=edges + int(keep.sum()),
-                    sequential_bytes=edges * 24,
-                    messages=int(active_pos.size),
-                    allocations=6,
-                )
-            if partition_work is not None:
-                partition_work.append(
-                    PartitionWork(p, edges, int(active_pos.size), seconds)
-                )
-            continue
-        else:
-            starts = block.cp[active_pos]
-            lengths = block.cp[active_pos + 1] - starts
-            take = _expand_spans(starts, lengths)
-            edges = int(take.shape[0])
-            edge_dst = block.ir[take]
-            edge_vals = block.num[take]
-            src_cols = np.repeat(block.jc[active_pos], lengths)
-        if edges == 0:
-            if partition_work is not None:
-                partition_work.append(
-                    PartitionWork(p, 0, int(active_pos.size), time.perf_counter() - t0)
-                )
-            continue
-        results = program.process_edges_packed(
-            src_cols, edge_vals, edge_dst, properties.data
-        )
-        if results is None:
-            messages = x.values[src_cols]
-            results = program.process_message_batch(
-                messages, edge_vals, properties.data[edge_dst]
-            )
-        unique_dst, reduced = _reduce_by_destination(
-            program,
-            np.asarray(results),
-            edge_dst,
+        result = run_block(
+            p,
             block,
-            full_coverage=full_coverage,
+            x_mask,
+            x_values,
+            program,
+            properties_data,
+            scratch.get(p) if scratch is not None else None,
         )
-        _combine_into(program, y, unique_dst, reduced)
-        seconds = time.perf_counter() - t0
-        total_edges += edges
-        if counters is not None:
-            # Fused kernels: a handful of vector operations per block, one
-            # element op per edge for process + reduce, scattered property
-            # gather and y scatter, streamed ir/num arrays.
-            counters.record(
-                user_calls=6,
-                element_ops=2 * edges,
-                random_accesses=edges + int(unique_dst.shape[0]),
-                sequential_bytes=edges * 16,
-                messages=int(active_pos.size),
-                allocations=5,
-            )
-        if partition_work is not None:
-            partition_work.append(
-                PartitionWork(p, edges, int(active_pos.size), seconds)
-            )
+        total_edges += apply_block_result(
+            result, y, program, counters, partition_work, kernel_counts
+        )
     return total_edges

@@ -196,6 +196,31 @@ class DCSCMatrix:
             self._dst_groups = (order, starts, unique_rows)
         return self._dst_groups
 
+    def warm_caches(self) -> None:
+        """Materialize the lazy per-block caches up front.
+
+        ``graph_program_init`` calls this so the first superstep of a run
+        pays no cache-construction cost (the caches are what the fused
+        dense/full kernels reuse every superstep).
+        """
+        self.col_expanded()
+        self.dst_groups()
+
+    # ------------------------------------------------------------------
+    # Pickling: worker processes receive blocks once per workspace; the
+    # lazy caches are derived data and can be bigger than the block
+    # itself (dst_groups holds an nnz-sized permutation), so they are
+    # dropped from the payload and rebuilt on first use in the worker.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_dst_groups"] = None
+        state["_col_expanded"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def restrict_columns(self, wanted_mask: np.ndarray) -> "DCSCMatrix":
         """Drop the non-empty columns where ``wanted_mask[j]`` is False.
 

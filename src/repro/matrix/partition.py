@@ -137,6 +137,28 @@ class PartitionedMatrix:
         """Per-partition non-zero counts (the load-balance signal)."""
         return np.asarray([block.nnz for block in self.blocks], dtype=np.int64)
 
+    def schedule_chunks(self, n_chunks: int) -> list[list[int]]:
+        """Assign block indices to ``n_chunks`` workers, balanced by nnz.
+
+        Greedy longest-processing-time scheduling: blocks are handed out
+        heaviest-first to the currently lightest chunk.  Blocks own
+        disjoint output row ranges, so any assignment is race-free; this
+        one keeps per-worker edge counts even when the nnz split is
+        skewed (power-law graphs under the ``"rows"`` strategy).  Empty
+        chunks are dropped.
+        """
+        if n_chunks <= 0:
+            raise ShapeError(f"n_chunks must be positive, got {n_chunks}")
+        counts = self.block_nnz()
+        order = np.argsort(counts, kind="stable")[::-1]
+        chunks: list[list[int]] = [[] for _ in range(n_chunks)]
+        loads = np.zeros(n_chunks, dtype=np.int64)
+        for idx in order:
+            lightest = int(np.argmin(loads))
+            chunks[lightest].append(int(idx))
+            loads[lightest] += int(counts[idx])
+        return [chunk for chunk in chunks if chunk]
+
     def imbalance(self) -> float:
         """Max/mean nnz ratio across partitions (1.0 = perfectly balanced)."""
         counts = self.block_nnz()

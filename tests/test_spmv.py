@@ -189,3 +189,137 @@ class TestEngineOptionValidation:
         options = EngineOptions().with_(n_threads=4)
         assert options.n_threads == 4
         assert EngineOptions().n_threads == 1
+
+
+class SaturatingMinProgram(SemiringProgram):
+    """Min-plus with distances saturating at CAP == reduce_identity.
+
+    A vertex whose only incoming path saturates receives a *real* reduced
+    message equal to the identity sentinel — the case the dense-frontier
+    kernel used to silently drop when it compared reduced values against
+    the identity instead of tracking which rows actually received.
+    """
+
+    CAP = 8.0
+    reduce_identity = CAP
+
+    def __init__(self):
+        super().__init__(MIN_PLUS)
+
+    def process_message(self, message, edge_value, dst_prop):
+        return min(message + edge_value, self.CAP)
+
+    def process_message_batch(self, messages, edge_values, dst_props):
+        return np.minimum(messages + edge_values, self.CAP)
+
+
+class TestDenseFrontierIdentityHazard:
+    """Regression: reduced value == reduce_identity must not be dropped."""
+
+    def _saturating_setup(self):
+        # Block layout chosen to force the masked dense-pull kernel:
+        # 3 non-empty columns, 2 active (2*2 > 3), ~80 edges so the
+        # estimated edge count exceeds the scalar-kernel threshold.
+        n = 90
+        src = np.concatenate(
+            [
+                np.zeros(40, dtype=np.int64),          # column 0: 40 edges
+                np.ones(40, dtype=np.int64),           # column 1: 40 edges
+                np.array([2], dtype=np.int64),         # column 2 (silent)
+            ]
+        )
+        dst = np.concatenate(
+            [
+                np.arange(3, 43, dtype=np.int64),
+                np.arange(43, 83, dtype=np.int64),
+                np.array([83], dtype=np.int64),
+            ]
+        )
+        # Columns are message sources (the engine multiplies by G^T):
+        # store (row=dst, col=src).
+        coo = COOMatrix((n, n), dst, src, np.ones(src.shape[0]))
+        return n, coo
+
+    def test_saturated_distances_survive_dense_kernel(self):
+        n, coo = self._saturating_setup()
+        blocks = PartitionedMatrix.from_coo(coo, 1)
+        program = SaturatingMinProgram()
+        properties = PropertyArray(n, FLOAT64)
+        x = BitvectorVector(n)
+        y = BitvectorVector(n)
+        # Senders already at CAP - 0.5: every processed message saturates
+        # to exactly CAP == reduce_identity.
+        x.set(0, SaturatingMinProgram.CAP - 0.5)
+        x.set(1, SaturatingMinProgram.CAP - 0.5)
+        work: list[PartitionWork] = []
+        spmv_fused(blocks, x, y, program, properties, None, work)
+        assert work[0].kernel == "dense-pull", (
+            "test setup no longer exercises the masked dense kernel"
+        )
+        received = y.indices()
+        # All 80 destinations of the two active columns received a real
+        # (saturated) message and must be present in y.
+        assert received.shape[0] == 80
+        assert np.all(y.values[received] == SaturatingMinProgram.CAP)
+
+    def test_unsaturated_dense_kernel_matches_scalar_path(self):
+        n, coo = self._saturating_setup()
+        blocks = PartitionedMatrix.from_coo(coo, 1)
+        program = SaturatingMinProgram()
+        properties = PropertyArray(n, FLOAT64)
+        x_f = BitvectorVector(n)
+        y_f = BitvectorVector(n)
+        x_s = SortedTuplesVector(n)
+        y_s = SortedTuplesVector(n)
+        for vec in (x_f, x_s):
+            vec.set(0, 1.0)
+            vec.set(1, 2.5)
+        spmv_fused(blocks, x_f, y_f, program, properties)
+        spmv_scalar(blocks, x_s, y_s, program, properties)
+        assert np.array_equal(y_f.indices(), y_s.indices())
+        assert np.allclose(
+            y_f.values[y_f.indices()], y_s.gather(y_s.indices()).ravel()
+        )
+
+
+class TestScalarProbeCounters:
+    """Regression: membership probes are charged only when performed."""
+
+    def _blocks(self):
+        coo = COOMatrix(
+            (6, 6),
+            np.array([0, 1, 2, 3]),
+            np.array([1, 2, 3, 4]),
+            np.array([1.0, 1.0, 1.0, 1.0]),
+        )
+        return PartitionedMatrix.from_coo(coo, 1)
+
+    def test_empty_frontier_charges_zero_probes(self):
+        from repro.perf.counters import EventCounters
+
+        blocks = self._blocks()
+        program = SemiringProgram(PLUS_TIMES)
+        properties = PropertyArray(6, FLOAT64)
+        x = SortedTuplesVector(6)
+        y = SortedTuplesVector(6)
+        counters = EventCounters()
+        edges = spmv_scalar(blocks, x, y, program, properties, counters)
+        assert edges == 0
+        assert counters.random_accesses == 0
+        assert counters.user_calls == 0
+
+    def test_nonempty_frontier_charges_tested_columns(self):
+        from repro.perf.counters import EventCounters
+
+        blocks = self._blocks()
+        program = SemiringProgram(PLUS_TIMES)
+        properties = PropertyArray(6, FLOAT64)
+        x = SortedTuplesVector(6)
+        y = SortedTuplesVector(6)
+        x.set(1, 2.0)
+        counters = EventCounters()
+        edges = spmv_scalar(blocks, x, y, program, properties, counters)
+        assert edges == 1
+        nzc = sum(b.nzc for b in blocks)
+        # 2 random accesses per edge + one probe per tested column.
+        assert counters.random_accesses == 2 * edges + nzc
