@@ -1,0 +1,77 @@
+"""Loading-path benchmark: cold text parse vs snapshot mmap load.
+
+Emits ``BENCH_ingest.json`` (repo root by default) recording cold
+parse+build, streaming-ingest, and snapshot-mmap-load times plus the
+process-backend startup hand-off sizes on a Graph500 R-MAT graph.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py [--scale 16] [--out PATH]
+
+or as a pytest smoke test (small scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ingest.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.ingest import bench_ingest, summarize_ingest, write_ingest_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_ingest.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=16,
+                        help="R-MAT scale (2**scale vertices)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--partitions", type=int, default=8)
+    parser.add_argument("--strategy", choices=("rows", "nnz"), default="rows")
+    parser.add_argument("--chunk-edges", type=int, default=1 << 18)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="process-backend workers for the startup probe")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    record = bench_ingest(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        n_partitions=args.partitions,
+        strategy=args.strategy,
+        chunk_edges=args.chunk_edges,
+        repeats=args.repeats,
+        n_workers=args.workers,
+    )
+    path = write_ingest_record(record, args.out)
+    print(summarize_ingest(record))
+    print(f"\nwrote {path}")
+    return 0
+
+
+def test_ingest_bench_smoke(tmp_path):
+    """Small-scale smoke run asserting the machine-independent invariants:
+    mmap load beats cold parse by >= 5x, snapshot-backed process hand-offs
+    ship references instead of arrays, and both paths compute identical
+    PageRank vectors."""
+    record = bench_ingest(
+        scale=10, edge_factor=8, repeats=2, pr_iterations=2,
+        work_dir=tmp_path,
+    )
+    out = write_ingest_record(record, tmp_path / "BENCH_ingest.json")
+    assert out.exists()
+    assert record["speedup"]["snapshot_vs_cold"] >= 5.0
+    startup = record["process_startup"]
+    assert startup["snapshot"]["ship_bytes"] < startup["in_memory"]["ship_bytes"]
+    assert record["parity"]["max_abs_diff"] == 0.0
+    assert record["ingest"]["peak_partition_edges"] <= record["meta"]["n_edges"]
+    assert record["meta"]["calibration_seconds"] > 0.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,12 @@ from repro.bench.backends import (
     summarize,
     write_backend_record,
 )
+from repro.bench.calibrate import machine_calibration
+from repro.bench.ingest import (
+    bench_ingest,
+    summarize_ingest,
+    write_ingest_record,
+)
 from repro.bench.cases import (
     DEFAULT_PARAMS,
     PER_ITERATION_ALGORITHMS,
@@ -25,8 +31,12 @@ from repro.bench.tables import (
 __all__ = [
     "backend_configs",
     "bench_backends",
+    "bench_ingest",
+    "machine_calibration",
     "summarize",
+    "summarize_ingest",
     "write_backend_record",
+    "write_ingest_record",
     "DEFAULT_PARAMS",
     "PER_ITERATION_ALGORITHMS",
     "PreparedCase",

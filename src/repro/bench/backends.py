@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.algorithms.bfs import BFSProgram, init_bfs
 from repro.algorithms.pagerank import PageRankProgram, init_pagerank
+from repro.bench.calibrate import machine_calibration
 from repro.core.engine import graph_program_init, run_graph_program
 from repro.core.options import EngineOptions
 from repro.graph.generators.rmat import rmat_graph
@@ -83,6 +84,11 @@ def _time_config(
             seconds = time.perf_counter() - t0
             cell = {
                 "seconds": seconds,
+                "workspace_scratch_bytes": (
+                    workspace.superstep.scratch_nbytes()
+                    if workspace is not None and workspace.superstep is not None
+                    else 0
+                ),
                 "supersteps": stats.n_supersteps,
                 "seconds_per_iteration": (
                     seconds / stats.n_supersteps if stats.n_supersteps else 0.0
@@ -164,6 +170,10 @@ def bench_backends(
             "repeats": repeats,
             "n_workers": n_workers,
             "cpu_count": os.cpu_count(),
+            # Fixed-workload machine speed probe: lets the CI regression
+            # gate rescale this record's absolute times onto another
+            # host before applying its tolerance.
+            "calibration_seconds": machine_calibration(),
         },
         "pagerank": {},
         "bfs": {},

@@ -1,0 +1,43 @@
+"""Machine-speed calibration for cross-host benchmark comparison.
+
+CI perf gating compares a fresh benchmark record against a committed
+baseline that was produced on a *different* machine.  Raw seconds do not
+transfer, so every benchmark record embeds ``calibration_seconds``: the
+best-of-N time of one fixed, deterministic NumPy workload shaped like
+the engine's SpMV hot path (an indexed gather plus a segmented
+reduction).  The regression checker scales the baseline's absolute
+timings by the ratio of the two calibration values before applying its
+tolerance, which cancels first-order machine-speed differences while
+leaving genuine per-iteration regressions visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: Elements in the calibration workload (~16 MB working set: big enough
+#: to leave L2, small enough to run in tens of milliseconds anywhere).
+_CALIBRATION_SIZE = 1 << 21
+_SEGMENT = 64
+
+
+def machine_calibration(repeats: int = 5) -> float:
+    """Best-of-``repeats`` seconds for the fixed calibration workload."""
+    n = _CALIBRATION_SIZE
+    # Deterministic scatter pattern (Knuth multiplicative hash), no RNG:
+    # every host times the identical memory-access sequence.
+    idx = (np.arange(n, dtype=np.int64) * 2654435761) % n
+    vals = np.sqrt(np.arange(1, n + 1, dtype=np.float64))
+    starts = np.arange(0, n, _SEGMENT, dtype=np.int64)
+    best = float("inf")
+    sink = 0.0
+    for _ in range(max(1, int(repeats))):
+        t0 = time.perf_counter()
+        gathered = np.take(vals, idx)
+        reduced = np.add.reduceat(gathered, starts)
+        sink += float(reduced[-1])
+        best = min(best, time.perf_counter() - t0)
+    assert sink == sink  # keep the computation observable
+    return best

@@ -28,6 +28,11 @@ parallel backends (:mod:`repro.exec`):
    scratch buffers once per run (or once per ``graph_program_init``
    workspace) and reset them in place each iteration, instead of
    allocating fresh ones every superstep.
+7. ``snapshot_cache`` — directory for automatic on-disk caching of the
+   partitioned DCSC views (``repro.store``): the first run on a graph
+   persists its views as mmap-able ``.gmsnap`` files and every later
+   run — in any process — loads them zero-copy instead of
+   re-partitioning the edge list.
 
 The paper notes the only user-visible tunables are the thread count and the
 number of matrix partitions; everything else defaults on.
@@ -78,6 +83,11 @@ class EngineOptions:
     #: buffers alive across iterations, resetting them in place, instead
     #: of reallocating every superstep.
     reuse_workspace: bool = True
+    #: Directory for the automatic partitioned-view snapshot cache
+    #: (None = off).  Views are keyed by the graph's content hash plus
+    #: the partitioning knobs; cache hits mmap the stored blocks with
+    #: zero copies (see ``repro.store``).
+    snapshot_cache: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
@@ -103,6 +113,10 @@ class EngineOptions:
             )
         if self.n_workers < 1:
             raise ProgramError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.snapshot_cache is not None and not str(self.snapshot_cache):
+            raise ProgramError(
+                "snapshot_cache must be a directory path or None, got ''"
+            )
 
     @property
     def n_partitions(self) -> int:

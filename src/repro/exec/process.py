@@ -10,6 +10,13 @@ data:
   their derived caches for the trip (see ``DCSCMatrix.__getstate__``)
   and rebuild them lazily worker-side, where they persist for the
   workspace's lifetime, as do per-block ``BlockScratch`` buffers.
+  Snapshot-backed views (``repro.store``) make even that hand-off
+  O(n_partitions): each block serializes as a ``(path, view, block)``
+  reference and workers attach to the snapshot's mmap by file path —
+  no per-block array pickling, and all workers share the kernel page
+  cache for the graph.  ``prepare`` records the estimated hand-off size
+  in :attr:`ProcessExecutor.ship_bytes` so benchmarks can attribute the
+  startup win.
 - **once per superstep**: the frontier (validity mask + message values)
   and the vertex-property array are copied into shared-memory segments
   the workers map once and read directly.  Tasks then carry only block
@@ -140,6 +147,10 @@ class ProcessExecutor(Executor):
         self._program = None
         self._chunks: list[list[list[int]]] = []  # per view, per worker
         self._segments: dict[str, tuple] = {}  # role -> (shm, ndarray, spec)
+        #: Estimated bytes of static data a (spawn-style) worker hand-off
+        #: moves: O(nnz) for in-memory views, O(n_partitions) path
+        #: references for snapshot-backed ones.  Set by ``prepare``.
+        self.ship_bytes: int = 0
 
     # -- capability ------------------------------------------------------
     def supports(self, program) -> bool:
@@ -183,6 +194,7 @@ class ProcessExecutor(Executor):
         )
         self._views = list(views)
         self._program = program
+        self.ship_bytes = sum(view.payload_nbytes() for view in views)
         # The nnz-balanced chunk schedule is static per (view, pool).
         self._chunks = [view.schedule_chunks(self.n_workers) for view in views]
 

@@ -18,7 +18,10 @@ place each iteration:
   the fused kernels fill with ``np.take(..., out=...)`` and in-place
   prefix sums,
 - the blocks' lazy ``col_expanded()`` / ``dst_groups()`` caches are
-  warmed up front so no superstep pays their construction cost.
+  warmed up front so no superstep pays their construction cost.  Blocks
+  loaded from a snapshot with embedded kernel caches
+  (``repro.store.save_snapshot(include_caches=True)``) already carry
+  them as mmap views, making the warm-up free as well.
 
 Scratch buffers exist only for numeric value specs; object-valued
 programs (triangle counting's neighbor lists) fall back to fresh
@@ -71,6 +74,25 @@ class BlockScratch:
         self.dst_props = _spec_buffer(n, program.property_spec)
         self.sorted_results = _spec_buffer(n, program.result_spec)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes held by this scratch's buffers."""
+        return sum(
+            buffer.nbytes
+            for buffer in (
+                self.take,
+                self.src_cols,
+                self.edge_dst,
+                self.sent,
+                self.sent_sorted,
+                self.edge_vals,
+                self.messages,
+                self.dst_props,
+                self.sorted_results,
+            )
+            if buffer is not None
+        )
+
 
 def _spec_buffer(n: int, spec) -> np.ndarray | None:
     if spec.dtype == object:
@@ -117,6 +139,20 @@ class SuperstepWorkspace:
     def view_scratch(self, view_index: int) -> dict[int, BlockScratch] | None:
         """Per-partition scratch for one matrix view (None when unbuilt)."""
         return self._scratch.get(view_index)
+
+    def scratch_nbytes(self) -> int:
+        """Total resident bytes of every per-block scratch buffer.
+
+        The workspace's own memory cost (benchmarks report it next to
+        the allocation-churn win it buys; the mmap-backed block arrays
+        of snapshot-loaded views are *not* counted — they are shared
+        file pages, not per-workspace allocations).
+        """
+        return sum(
+            scratch.nbytes
+            for per_view in self._scratch.values()
+            for scratch in per_view.values()
+        )
 
     def matches(
         self, n_vertices: int, program, options, views, *,

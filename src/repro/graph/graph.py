@@ -49,6 +49,9 @@ class Graph:
         self._in_cache: dict[tuple[int, str], PartitionedMatrix] = {}
         self._out_csr: CSRMatrix | None = None
         self._in_csr: CSRMatrix | None = None
+        #: Set by ``repro.store.load_snapshot`` on mmap-backed graphs.
+        self.snapshot_path: str | None = None
+        self._cache_key: str | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -126,6 +129,64 @@ class Graph:
         return self._in_cache[key]
 
     # ------------------------------------------------------------------
+    # Partitioned-view cache plumbing (used by ``repro.store``)
+    # ------------------------------------------------------------------
+    def _view_cache(self, direction: str) -> dict:
+        if direction == "out":
+            return self._out_cache
+        if direction == "in":
+            return self._in_cache
+        raise GraphError(f"unknown view direction {direction!r}")
+
+    def peek_partitions(
+        self, direction: str, n_partitions: int, strategy: str
+    ) -> PartitionedMatrix | None:
+        """The cached partitioned view for a key, or None (never builds)."""
+        return self._view_cache(direction).get((int(n_partitions), strategy))
+
+    def adopt_partitions(
+        self,
+        direction: str,
+        n_partitions: int,
+        strategy: str,
+        partitions: PartitionedMatrix,
+    ) -> PartitionedMatrix:
+        """Install an externally built view (e.g. a snapshot's mmap blocks)
+        under the same cache key :meth:`out_partitions` would use, so
+        engine runs find it instead of re-partitioning the edge list."""
+        if partitions.shape != (self.n_vertices, self.n_vertices):
+            raise GraphError(
+                f"partitioned view shape {partitions.shape} does not match "
+                f"graph with {self.n_vertices} vertices"
+            )
+        self._view_cache(direction)[(int(n_partitions), strategy)] = partitions
+        return partitions
+
+    def cache_key(self) -> str:
+        """Content hash of the edge structure (stable across processes).
+
+        Keys on-disk view caches (``EngineOptions.snapshot_cache``): two
+        Graph objects with identical edge triples share a key.  Computed
+        once per instance — O(edges) hashing, far cheaper than one
+        re-partitioning — then memoized.
+        """
+        if self._cache_key is None:
+            import hashlib
+
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(
+                f"{self.n_vertices}:{self._edges.vals.dtype.str}".encode()
+            )
+            # Hash the array buffers in place (no .tobytes() copies):
+            # COOMatrix guarantees C-contiguity, and for mmap-backed
+            # graphs this streams file pages instead of heap copies.
+            digest.update(memoryview(self._edges.rows).cast("B"))
+            digest.update(memoryview(self._edges.cols).cast("B"))
+            digest.update(memoryview(self._edges.vals).cast("B"))
+            self._cache_key = digest.hexdigest()
+        return self._cache_key
+
+    # ------------------------------------------------------------------
     # Vertex state (the paper's G.vertex_property / G.active)
     # ------------------------------------------------------------------
     def init_properties(self, spec: ValueSpec, fill=None) -> None:
@@ -177,6 +238,7 @@ class Graph:
         self._in_cache.clear()
         self._out_csr = None
         self._in_csr = None
+        self._cache_key = None
 
     def __repr__(self) -> str:
         return (

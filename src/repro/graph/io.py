@@ -14,10 +14,17 @@ MatrixMarket specifics honoured:
 - 1-based indices on disk, converted to 0-based in memory,
 - ``symmetric`` files expand the stored lower/upper triangle into both
   directions on read.
+
+Both readers transparently accept gzip-compressed inputs: a ``.gz``
+suffix (or the gzip magic bytes, for misnamed files) switches the open
+to ``gzip.open`` in text mode.  For out-of-core conversion of inputs too
+large to parse in one piece, see :mod:`repro.store.ingest`, which
+streams these same formats in bounded-memory chunks.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from pathlib import Path
 
@@ -29,16 +36,43 @@ from repro.matrix.coo import COOMatrix
 
 _VALID_FIELDS = {"pattern", "integer", "real"}
 _VALID_SYMMETRY = {"general", "symmetric"}
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def open_text(path: str | Path) -> io.TextIOBase:
+    """Open a possibly gzip-compressed text file for reading.
+
+    Sniffs the ``.gz`` suffix first (the documented contract), then the
+    gzip magic bytes so a compressed file with a plain name still reads.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    # Magic-byte sniff only for regular files: probing a pipe/FIFO
+    # (e.g. /dev/stdin) would consume its bytes.
+    if path.is_file():
+        with path.open("rb") as probe:
+            if probe.read(2) == _GZIP_MAGIC:
+                return gzip.open(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
 
 
 def read_mtx(path: str | Path) -> Graph:
-    """Read a MatrixMarket coordinate file into a :class:`Graph`."""
+    """Read a MatrixMarket coordinate file (optionally gzipped)."""
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
+    with open_text(path) as handle:
         return _read_mtx_stream(handle, str(path))
 
 
-def _read_mtx_stream(handle: io.TextIOBase, name: str) -> Graph:
+def parse_mtx_header(
+    handle: io.TextIOBase, name: str
+) -> tuple[str, str, int, int]:
+    """Validate the MatrixMarket banner + size line.
+
+    Returns ``(field, symmetry, n_vertices, nnz)`` with the handle
+    positioned at the first entry line.  Shared by :func:`read_mtx` and
+    the streaming ingest pipeline so both enforce identical rules.
+    """
     header = handle.readline()
     if not header.startswith("%%MatrixMarket"):
         raise IOFormatError(f"{name}: missing %%MatrixMarket header")
@@ -70,6 +104,12 @@ def _read_mtx_stream(handle: io.TextIOBase, name: str) -> Graph:
         raise IOFormatError(
             f"{name}: graph matrices must be square, got {n_rows}x{n_cols}"
         )
+    return field, symmetry, n_rows, nnz
+
+
+def _read_mtx_stream(handle: io.TextIOBase, name: str) -> Graph:
+    field, symmetry, n_rows, nnz = parse_mtx_header(handle, name)
+    n_cols = n_rows
 
     rows = np.empty(nnz, dtype=np.int64)
     cols = np.empty(nnz, dtype=np.int64)
@@ -136,12 +176,16 @@ def read_edge_list(
     comment: str = "#",
     n_vertices: int | None = None,
 ) -> Graph:
-    """Read a whitespace-separated edge list (``u v [w]`` per line)."""
+    """Read a whitespace-separated edge list (``u v [w]`` per line).
+
+    Gzip-compressed files (``.gz`` suffix or gzip magic) decompress
+    transparently.
+    """
     path = Path(path)
     srcs: list[int] = []
     dsts: list[int] = []
     weights: list[float] = []
-    with path.open("r", encoding="utf-8") as handle:
+    with open_text(path) as handle:
         for line_no, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith(comment):

@@ -29,6 +29,10 @@ class COOMatrix:
         Value array aligned with ``rows``/``cols``.  ``None`` means an
         unweighted pattern matrix; it is materialized as ``int64`` ones so
         downstream formats never special-case missing values.
+    validate:
+        Skip the O(nnz) coordinate-bounds scan when False.  Reserved for
+        trusted sources (checksummed snapshot loads), where the scan
+        would fault in every page of a freshly mmapped file.
     """
 
     def __init__(
@@ -37,6 +41,8 @@ class COOMatrix:
         rows: np.ndarray,
         cols: np.ndarray,
         vals: np.ndarray | None = None,
+        *,
+        validate: bool = True,
     ) -> None:
         n_rows, n_cols = int(shape[0]), int(shape[1])
         if n_rows < 0 or n_cols < 0:
@@ -56,7 +62,8 @@ class COOMatrix:
             raise ShapeError(
                 f"vals length {self.vals.shape[0]} != nnz {self.rows.shape[0]}"
             )
-        self._validate_bounds()
+        if validate:
+            self._validate_bounds()
 
     def _validate_bounds(self) -> None:
         if self.rows.size == 0:

@@ -40,6 +40,8 @@ class DCSCMatrix:
         ir: np.ndarray,
         num: np.ndarray,
         row_range: tuple[int, int] | None = None,
+        *,
+        validate: bool = True,
     ) -> None:
         self.shape = (int(shape[0]), int(shape[1]))
         self.jc = np.ascontiguousarray(jc, dtype=np.int64)
@@ -51,7 +53,14 @@ class DCSCMatrix:
         self.row_range = (int(row_range[0]), int(row_range[1]))
         self._dst_groups: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._col_expanded: np.ndarray | None = None
-        self.validate()
+        #: Set by ``repro.store`` on snapshot-backed blocks:
+        #: ``(snapshot_path, view_index, block_index)``.  Lets pickling
+        #: ship a file reference instead of the arrays (see __getstate__).
+        self._snapshot_ref: tuple[str, int, int] | None = None
+        if validate:
+            # Trusted sources (checksummed snapshot loads) skip this
+            # O(nnz) scan so a freshly mmapped block stays O(1) to open.
+            self.validate()
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -201,25 +210,62 @@ class DCSCMatrix:
 
         ``graph_program_init`` calls this so the first superstep of a run
         pays no cache-construction cost (the caches are what the fused
-        dense/full kernels reuse every superstep).
+        dense/full kernels reuse every superstep).  Snapshot loads may
+        have installed mmap-backed caches already (:meth:`install_caches`),
+        in which case this is a no-op.
         """
         self.col_expanded()
         self.dst_groups()
+
+    def install_caches(
+        self,
+        col_expanded: np.ndarray,
+        dst_groups: tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> None:
+        """Adopt precomputed derived caches (snapshot loads, zero-copy)."""
+        self._col_expanded = col_expanded
+        self._dst_groups = dst_groups
+
+    def payload_nbytes(self) -> int:
+        """Approximate pickled-payload size of this block.
+
+        Snapshot-backed blocks ship as a ``(path, view, block)`` reference
+        (O(100) bytes) rather than their arrays; everything else pays for
+        the four raw arrays.  Executors use this to report how much data a
+        worker hand-off actually moves.
+        """
+        if self._snapshot_ref is not None:
+            return 64 + len(str(self._snapshot_ref[0]))
+        return int(
+            self.jc.nbytes + self.cp.nbytes + self.ir.nbytes + self.num.nbytes
+        )
 
     # ------------------------------------------------------------------
     # Pickling: worker processes receive blocks once per workspace; the
     # lazy caches are derived data and can be bigger than the block
     # itself (dst_groups holds an nnz-sized permutation), so they are
     # dropped from the payload and rebuilt on first use in the worker.
+    # Snapshot-backed blocks go further: the payload is just the file
+    # reference, and the receiving process re-attaches the mmap (blocks
+    # from one snapshot share a single mapping per process).
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
+        if self._snapshot_ref is not None:
+            return {"_snapshot_ref": self._snapshot_ref}
         state = self.__dict__.copy()
         state["_dst_groups"] = None
         state["_col_expanded"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
+        ref = state.get("_snapshot_ref")
+        if ref is not None and "jc" not in state:
+            from repro.store.snapshot import materialize_block
+
+            self.__dict__.update(materialize_block(ref).__dict__)
+            return
         self.__dict__.update(state)
+        self.__dict__.setdefault("_snapshot_ref", None)
 
     def restrict_columns(self, wanted_mask: np.ndarray) -> "DCSCMatrix":
         """Drop the non-empty columns where ``wanted_mask[j]`` is False.

@@ -62,6 +62,9 @@ class PartitionedMatrix:
     def __init__(self, shape: tuple[int, int], blocks: list[DCSCMatrix]) -> None:
         self.shape = (int(shape[0]), int(shape[1]))
         self.blocks = list(blocks)
+        #: Set by ``repro.store`` when the blocks are mmap views of a
+        #: ``.gmsnap`` file (None for matrices partitioned in memory).
+        self.snapshot_path: str | None = None
         self._validate_cover()
 
     def _validate_cover(self) -> None:
@@ -136,6 +139,16 @@ class PartitionedMatrix:
     def block_nnz(self) -> np.ndarray:
         """Per-partition non-zero counts (the load-balance signal)."""
         return np.asarray([block.nnz for block in self.blocks], dtype=np.int64)
+
+    def row_ranges(self) -> list[tuple[int, int]]:
+        """The contiguous ``[lo, hi)`` row range of each partition."""
+        return [block.row_range for block in self.blocks]
+
+    def payload_nbytes(self) -> int:
+        """Approximate pickled-payload size of all blocks (see
+        :meth:`DCSCMatrix.payload_nbytes`); snapshot-backed views cost
+        O(n_partitions) path references instead of O(nnz) array bytes."""
+        return sum(block.payload_nbytes() for block in self.blocks)
 
     def schedule_chunks(self, n_chunks: int) -> list[list[int]]:
         """Assign block indices to ``n_chunks`` workers, balanced by nnz.

@@ -1,0 +1,75 @@
+"""Persistent graph storage: the ``.gmsnap`` snapshot subsystem.
+
+Re-running a GraphMat workload should not re-pay text parsing and DCSC
+construction.  This package persists the engine's sparse-matrix
+representation itself:
+
+- :mod:`repro.store.format` — the versioned binary container (aligned
+  raw arrays + JSON manifest, CRC-32 checksums, atomic writes),
+- :mod:`repro.store.snapshot` — Graph-level save/load; loads are mmap
+  views with zero edge copies and pre-seeded partition caches,
+- :mod:`repro.store.ingest` — bounded-memory streaming conversion of
+  edge lists / MatrixMarket (gzip ok) into snapshots,
+- :mod:`repro.store.view_cache` — the engine's automatic on-disk view
+  cache (``EngineOptions.snapshot_cache``),
+- :mod:`repro.store.cli` — the ``repro-convert`` command.
+
+See ``docs/FORMATS.md`` for the on-disk layout.
+"""
+
+from __future__ import annotations
+
+from repro.store.format import (
+    ALIGNMENT,
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotReader,
+    SnapshotWriter,
+    read_document,
+)
+from repro.store.ingest import (
+    DEFAULT_CHUNK_EDGES,
+    IngestReport,
+    ingest_edge_list,
+    ingest_file,
+    ingest_mtx,
+    sniff_format,
+)
+from repro.store.snapshot import (
+    SNAPSHOT_SUFFIX,
+    close_snapshots,
+    load_snapshot,
+    load_views,
+    materialize_block,
+    open_snapshot,
+    save_snapshot,
+    save_views,
+    snapshot_info,
+)
+from repro.store.view_cache import cache_entry_path, cached_partitions
+
+__all__ = [
+    "ALIGNMENT",
+    "DEFAULT_CHUNK_EDGES",
+    "FORMAT_VERSION",
+    "IngestReport",
+    "MAGIC",
+    "SNAPSHOT_SUFFIX",
+    "SnapshotReader",
+    "SnapshotWriter",
+    "cache_entry_path",
+    "cached_partitions",
+    "close_snapshots",
+    "ingest_edge_list",
+    "ingest_file",
+    "ingest_mtx",
+    "load_snapshot",
+    "load_views",
+    "materialize_block",
+    "open_snapshot",
+    "read_document",
+    "save_snapshot",
+    "save_views",
+    "sniff_format",
+    "snapshot_info",
+]

@@ -1,0 +1,312 @@
+"""The ``.gmsnap`` binary container: aligned raw arrays + JSON manifest.
+
+A snapshot file is a flat container of named NumPy arrays laid out so
+that :class:`SnapshotReader` can hand back zero-copy views of a single
+``np.memmap`` of the file:
+
+::
+
+    +--------------------------------------------------+ offset 0
+    | preamble: magic "\\x89GMSNAP\\n", version, flags,  |
+    |           manifest offset + length (32 bytes,    |
+    |           zero-padded to 64)                     |
+    +--------------------------------------------------+ 64
+    | array 0 bytes (raw C-contiguous dump)            |
+    +--- zero padding to the next 64-byte boundary ----+
+    | array 1 bytes                                    |
+    |   ...                                            |
+    +--------------------------------------------------+
+    | manifest: UTF-8 JSON naming every array with its |
+    | offset, shape, dtype and CRC-32                  |
+    +--------------------------------------------------+ EOF
+
+Arrays are 64-byte aligned (cache line / widest SIMD load), so a view
+built with ``np.frombuffer(memmap, dtype, count, offset)`` is as good as
+a freshly allocated array to every downstream kernel.  The manifest
+lives at the *end* of the file so array offsets are known before any
+structural metadata is serialized — which is what lets
+:class:`ArrayStream` append chunks of unknown total length during
+streaming ingest.
+
+The manifest's ``document`` key carries the caller's structural metadata
+(graph shape, partition index, block layout); this module neither reads
+nor interprets it.  Writes are atomic: everything goes to ``<path>.tmp``
+and the final :meth:`SnapshotWriter.close` renames it into place, so a
+crashed ingest never leaves a half-written snapshot behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IOFormatError
+
+#: First bytes of every snapshot.  The \\x89 prefix (borrowed from PNG)
+#: makes accidental text-mode interpretation fail loudly.
+MAGIC = b"\x89GMSNAP\n"
+#: Bump on any incompatible layout change; readers reject other versions.
+FORMAT_VERSION = 1
+#: Every array starts on a multiple of this many bytes.
+ALIGNMENT = 64
+
+_PREAMBLE = struct.Struct("<8sIIQQ")  # magic, version, flags, man_off, man_len
+_COPY_CHUNK = 1 << 22  # 4 MiB chunks when draining stream spill files
+
+
+def _pad_to_alignment(handle) -> int:
+    """Zero-pad ``handle`` to the next alignment boundary; return offset."""
+    pos = handle.tell()
+    remainder = pos % ALIGNMENT
+    if remainder:
+        handle.write(b"\x00" * (ALIGNMENT - remainder))
+        pos += ALIGNMENT - remainder
+    return pos
+
+
+class ArrayStream:
+    """A named 1-D array written incrementally, final length unknown.
+
+    Chunks are spilled to an anonymous temporary file;
+    :meth:`SnapshotWriter.close` drains them into the snapshot as one
+    contiguous aligned segment.  This is how streaming ingest emits the
+    edge arrays without ever holding the whole graph in memory.
+    """
+
+    def __init__(self, name: str, dtype: np.dtype) -> None:
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self.count = 0
+        self._spill = tempfile.TemporaryFile()
+
+    def append(self, chunk: np.ndarray) -> None:
+        chunk = np.ascontiguousarray(chunk, dtype=self.dtype)
+        if chunk.ndim != 1:
+            raise IOFormatError(
+                f"stream {self.name!r} accepts 1-D chunks, got shape {chunk.shape}"
+            )
+        self._spill.write(memoryview(chunk).cast("B"))
+        self.count += chunk.shape[0]
+
+    def _drain_into(self, handle) -> int:
+        """Copy spilled bytes into ``handle``; return the running CRC-32."""
+        self._spill.seek(0)
+        crc = 0
+        while True:
+            piece = self._spill.read(_COPY_CHUNK)
+            if not piece:
+                break
+            crc = zlib.crc32(piece, crc)
+            handle.write(piece)
+        self._spill.close()
+        return crc
+
+
+class SnapshotWriter:
+    """Write a ``.gmsnap`` container (atomically, via ``<path>.tmp``)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        # Unique per-writer temp name: concurrent writers of the same
+        # snapshot (two processes filling one view-cache entry) must not
+        # truncate each other's partial files; last rename wins and both
+        # outcomes are complete, valid snapshots.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name + ".", suffix=".tmp"
+        )
+        self._tmp_path = Path(tmp_name)
+        # mkstemp creates 0600; give the final snapshot normal
+        # umask-governed permissions like any written artifact.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(fd, 0o666 & ~umask)
+        self._handle = os.fdopen(fd, "wb")
+        self._handle.write(_PREAMBLE.pack(MAGIC, FORMAT_VERSION, 0, 0, 0))
+        _pad_to_alignment(self._handle)
+        self._arrays: dict[str, dict] = {}
+        self._streams: list[ArrayStream] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def add_array(self, name: str, array: np.ndarray) -> str:
+        """Append one fully materialized array; returns ``name``."""
+        if name in self._arrays:
+            raise IOFormatError(f"duplicate array name {name!r}")
+        array = np.ascontiguousarray(array)
+        if array.dtype == object:
+            raise IOFormatError(f"array {name!r}: object dtypes cannot be snapshot")
+        offset = _pad_to_alignment(self._handle)
+        raw = memoryview(array).cast("B") if array.size else b""
+        self._handle.write(raw)
+        self._arrays[name] = {
+            "offset": offset,
+            "shape": [int(s) for s in array.shape],
+            "dtype": array.dtype.str,
+            "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
+        }
+        return name
+
+    def stream(self, name: str, dtype) -> ArrayStream:
+        """Open a 1-D append-only array (finalized on :meth:`close`)."""
+        if name in self._arrays or any(s.name == name for s in self._streams):
+            raise IOFormatError(f"duplicate array name {name!r}")
+        out = ArrayStream(name, dtype)
+        self._streams.append(out)
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self, document: dict) -> Path:
+        """Drain streams, write the manifest, rename into place."""
+        if self._closed:
+            return self.path
+        for stream in self._streams:
+            offset = _pad_to_alignment(self._handle)
+            crc = stream._drain_into(self._handle)
+            self._arrays[stream.name] = {
+                "offset": offset,
+                "shape": [stream.count],
+                "dtype": stream.dtype.str,
+                "crc32": crc & 0xFFFFFFFF,
+            }
+        self._streams = []
+        manifest = {
+            "format": "gmsnap",
+            "version": FORMAT_VERSION,
+            "arrays": self._arrays,
+            "document": document,
+        }
+        payload = json.dumps(manifest, sort_keys=True).encode("utf-8")
+        manifest_offset = _pad_to_alignment(self._handle)
+        self._handle.write(payload)
+        self._handle.seek(0)
+        self._handle.write(
+            _PREAMBLE.pack(
+                MAGIC, FORMAT_VERSION, 0, manifest_offset, len(payload)
+            )
+        )
+        self._handle.close()
+        os.replace(self._tmp_path, self.path)
+        self._closed = True
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the partial file (safe to call after ``close``)."""
+        if self._closed:
+            return
+        for stream in self._streams:
+            stream._spill.close()
+        self._streams = []
+        self._handle.close()
+        self._tmp_path.unlink(missing_ok=True)
+        self._closed = True
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        # Normal exit paths call close(document) themselves; an exception
+        # must not leave a torn .tmp file behind.
+        if exc_type is not None or not self._closed:
+            self.abort()
+
+
+class SnapshotReader:
+    """Read a ``.gmsnap`` container, serving zero-copy mmap array views.
+
+    With ``mmap=True`` (default) the file is mapped read-only once and
+    every :meth:`array` call is O(1): a ``np.frombuffer`` view into the
+    mapping, no bytes touched until a kernel reads them.  With
+    ``mmap=False`` the whole file is read into memory up front (useful
+    when the file will be deleted or rewritten while arrays live on).
+    """
+
+    def __init__(self, path: str | Path, *, mmap: bool = True) -> None:
+        self.path = Path(path)
+        self.mmap = bool(mmap)
+        manifest = _read_manifest(self.path)
+        self.arrays_index: dict[str, dict] = manifest["arrays"]
+        self.document: dict = manifest.get("document", {})
+        # Truncation guard (O(#arrays), no pages touched): every array's
+        # extent must lie inside the file, so validate=False consumers
+        # can never index past the mapping.
+        size = self.path.stat().st_size
+        for name, entry in self.arrays_index.items():
+            nbytes = int(np.prod(entry["shape"]) if entry["shape"] else 1)
+            nbytes *= np.dtype(entry["dtype"]).itemsize
+            if int(entry["offset"]) + nbytes > size:
+                raise IOFormatError(
+                    f"{self.path}: array {name!r} extends past end of file "
+                    "(truncated snapshot)"
+                )
+        if self.mmap:
+            self._buffer = np.memmap(self.path, dtype=np.uint8, mode="r")
+        else:
+            self._buffer = np.frombuffer(self.path.read_bytes(), dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    def array_names(self) -> list[str]:
+        return sorted(self.arrays_index)
+
+    def array(self, name: str) -> np.ndarray:
+        """Zero-copy view of one named array (read-only)."""
+        entry = self.arrays_index.get(name)
+        if entry is None:
+            raise IOFormatError(f"{self.path}: no array named {name!r}")
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        view = np.frombuffer(
+            self._buffer,
+            dtype=np.dtype(entry["dtype"]),
+            count=count,
+            offset=int(entry["offset"]),
+        )
+        return view.reshape(shape)
+
+    def verify(self) -> None:
+        """Recompute every array's CRC-32; raise IOFormatError on mismatch."""
+        for name, entry in self.arrays_index.items():
+            raw = memoryview(np.ascontiguousarray(self.array(name))).cast("B")
+            crc = zlib.crc32(raw) & 0xFFFFFFFF
+            if crc != entry["crc32"]:
+                raise IOFormatError(
+                    f"{self.path}: checksum mismatch in array {name!r} "
+                    f"(stored {entry['crc32']:#010x}, computed {crc:#010x})"
+                )
+
+    def total_bytes(self) -> int:
+        return int(self.path.stat().st_size)
+
+
+def _read_manifest(path: Path) -> dict:
+    """Parse the preamble + trailing JSON manifest (no array data read)."""
+    size = path.stat().st_size
+    if size < _PREAMBLE.size:
+        raise IOFormatError(f"{path}: too small to be a snapshot")
+    with path.open("rb") as handle:
+        preamble = handle.read(_PREAMBLE.size)
+        magic, version, _flags, man_off, man_len = _PREAMBLE.unpack(preamble)
+        if magic != MAGIC:
+            raise IOFormatError(f"{path}: not a .gmsnap file")
+        if version != FORMAT_VERSION:
+            raise IOFormatError(
+                f"{path}: snapshot version {version} unsupported "
+                f"(reader expects {FORMAT_VERSION})"
+            )
+        if man_off + man_len > size or man_len == 0:
+            raise IOFormatError(f"{path}: truncated manifest")
+        handle.seek(man_off)
+        try:
+            return json.loads(handle.read(man_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IOFormatError(f"{path}: corrupt manifest") from exc
+
+
+def read_document(path: str | Path) -> dict:
+    """The structural metadata of a snapshot, without mapping its data."""
+    return _read_manifest(Path(path)).get("document", {})

@@ -1,0 +1,543 @@
+"""Streaming ingest: text graph formats -> ``.gmsnap``, bounded memory.
+
+``read_edge_list``/``read_mtx`` materialize the whole edge list, then
+sort it, then partition it — peak memory is a multiple of the graph.
+This pipeline converts the same formats with peak memory bounded by
+**one partition plus one parse chunk**, in three passes:
+
+1. **Parse + spill** — the text file (gzip ok) is parsed in fixed-size
+   chunks; each chunk's ``(dst, src, val, seq)`` records are appended to
+   a binary spill file while per-destination degree counts accumulate
+   (``seq`` is the edge's position in the file, which is what makes the
+   "keep the last duplicate" policy reproducible per-partition).
+2. **Route** — partition row ranges are computed from the counts (the
+   ``"rows"`` or ``"nnz"`` split of :mod:`repro.matrix.partition`), then
+   the spill is re-read in chunks and each record appended to its
+   partition's shard file.
+3. **Finalize** — one partition at a time: load the shard, resolve
+   duplicates (keep last occurrence by ``seq``, matching
+   ``COOMatrix.deduplicated("last")``), compress to a DCSC block, write
+   the block's arrays to the snapshot, and stream the partition's edge
+   triples into the snapshot's COO section.  The shard is deleted before
+   the next partition loads.
+
+The produced snapshot holds the graph's edges plus its ``out`` view
+(``A^T`` partitioned by destination — the view OUT_EDGES programs like
+PageRank/BFS/SSSP multiply with), and loads with
+:func:`repro.store.load_snapshot`.  Other views are built lazily from
+the mmapped COO on first use.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import IOFormatError
+from repro.graph.io import open_text, parse_mtx_header
+from repro.matrix.coo import COOMatrix
+from repro.matrix.dcsc import DCSCMatrix
+from repro.matrix.partition import (
+    row_ranges_equal_nnz,
+    row_ranges_equal_rows,
+)
+from repro.store.format import SnapshotWriter
+
+#: Edges parsed per text chunk (~24 MiB of spill records at the default).
+DEFAULT_CHUNK_EDGES = 1 << 20
+
+
+@dataclass
+class IngestReport:
+    """What one streaming conversion did (returned by the ingest calls)."""
+
+    source: str
+    snapshot: str
+    format: str
+    n_vertices: int = 0
+    n_edges_raw: int = 0
+    n_edges: int = 0
+    n_partitions: int = 0
+    strategy: str = "rows"
+    chunks: int = 0
+    peak_partition_edges: int = 0
+    parse_seconds: float = 0.0
+    route_seconds: float = 0.0
+    finalize_seconds: float = 0.0
+    snapshot_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.parse_seconds + self.route_seconds + self.finalize_seconds
+
+
+def _spill_dtype(value_dtype: np.dtype | None) -> np.dtype:
+    fields = [("dst", "<i8"), ("src", "<i8"), ("seq", "<i8")]
+    if value_dtype is not None:
+        fields.append(("val", np.dtype(value_dtype).str))
+    return np.dtype(fields)
+
+
+class _DegreeCounter:
+    """Growable per-vertex counter (vertex space unknown until EOF)."""
+
+    def __init__(self, initial: int = 1024) -> None:
+        self.counts = np.zeros(initial, dtype=np.int64)
+        self.max_vertex = -1
+
+    def add(self, dst: np.ndarray, src: np.ndarray) -> None:
+        if dst.size == 0:
+            return
+        top = int(max(dst.max(), src.max()))
+        self.max_vertex = max(self.max_vertex, top)
+        if top >= self.counts.shape[0]:
+            grown = max(top + 1, 2 * self.counts.shape[0])
+            self.counts = np.concatenate(
+                [self.counts, np.zeros(grown - self.counts.shape[0], np.int64)]
+            )
+        np.add.at(self.counts, dst, 1)
+
+
+def _parse_edge_lines(
+    lines: list[str],
+    n_tokens: int,
+    *,
+    exact: bool,
+    parse_values: bool,
+    name: str,
+    first_line_no: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Token arrays for one chunk of already-filtered data lines.
+
+    Lines are split individually (token counts are validated per line —
+    MTX requires exact counts, edge lists tolerate trailing columns) but
+    the string -> number conversion runs vectorized over the chunk.
+    """
+    token_rows = [line.split() for line in lines]
+    for offset, tokens in enumerate(token_rows):
+        if len(tokens) < n_tokens or (exact and len(tokens) != n_tokens):
+            raise IOFormatError(
+                f"{name}:{first_line_no + offset}: expected {n_tokens} "
+                f"tokens, got {lines[offset]!r}"
+            )
+    try:
+        u = np.array([t[0] for t in token_rows], dtype=np.int64)
+        v = np.array([t[1] for t in token_rows], dtype=np.int64)
+        w = (
+            np.array([t[2] for t in token_rows], dtype=np.float64)
+            if parse_values
+            else None
+        )
+    except ValueError as exc:
+        raise IOFormatError(f"{name}: malformed numeric field: {exc}") from exc
+    return u, v, w
+
+
+def _iter_text_chunks(handle, comment: str, chunk_lines: int):
+    """Yield ``(first_line_no, lines)`` batches of non-comment lines."""
+    batch: list[str] = []
+    batch_start = 0
+    for line_no, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or (comment and stripped.startswith(comment)):
+            continue
+        if not batch:
+            batch_start = line_no
+        batch.append(stripped)
+        if len(batch) >= chunk_lines:
+            yield batch_start, batch
+            batch = []
+    if batch:
+        yield batch_start, batch
+
+
+# ----------------------------------------------------------------------
+# Pass 1 front-ends: one per text format.  Each yields parsed chunk
+# tuples ``(dst, src, val|None, seq)`` in file order.
+# ----------------------------------------------------------------------
+def _edge_list_chunks(handle, name, *, weighted, comment, chunk_edges):
+    seq_base = 0
+    for first_line_no, lines in _iter_text_chunks(handle, comment, chunk_edges):
+        src, dst, val = _parse_edge_lines(
+            lines,
+            3 if weighted else 2,
+            exact=False,
+            parse_values=weighted,
+            name=name,
+            first_line_no=first_line_no,
+        )
+        seq = np.arange(seq_base, seq_base + src.shape[0], dtype=np.int64)
+        seq_base += src.shape[0]
+        yield dst, src, val, seq
+
+
+def _mtx_chunks(handle, name, *, field, symmetry, n_vertices, nnz, chunk_edges):
+    """MatrixMarket entries, 0-based, with symmetric mirrors emitted inline.
+
+    Mirror records get ``seq = nnz + original_index`` so keep-last
+    duplicate resolution matches :func:`repro.graph.io.read_mtx`, which
+    appends all mirrors after all stored entries.
+    """
+    parsed = 0
+    for first_line_no, lines in _iter_text_chunks(handle, "%", chunk_edges):
+        if parsed + len(lines) > nnz:
+            raise IOFormatError(f"{name}: more entries than declared nnz={nnz}")
+        u, v, w = _parse_edge_lines(
+            lines,
+            2 if field == "pattern" else 3,
+            exact=True,
+            parse_values=field != "pattern",
+            name=name,
+            first_line_no=first_line_no,
+        )
+        u -= 1
+        v -= 1
+        if u.size and (
+            min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n_vertices
+        ):
+            raise IOFormatError(
+                f"{name}: entry outside declared {n_vertices}-vertex range"
+            )
+        if w is None:
+            w = np.ones(u.shape[0], dtype=np.float64)
+        seq = np.arange(parsed, parsed + u.shape[0], dtype=np.int64)
+        parsed += u.shape[0]
+        # Graph edge u -> v: COO row (src) = u, col (dst) = v.
+        yield v, u, w, seq
+        if symmetry == "symmetric":
+            mirror = u != v
+            if mirror.any():
+                yield u[mirror], v[mirror], w[mirror], seq[mirror] + nnz
+    if parsed != nnz:
+        raise IOFormatError(f"{name}: declared nnz={nnz} but read {parsed} entries")
+
+
+# ----------------------------------------------------------------------
+# The three-pass pipeline
+# ----------------------------------------------------------------------
+def _check_vertex_bound(chunk_dst, chunk_src, n_vertices, name) -> None:
+    if chunk_dst.size and (
+        max(int(chunk_dst.max()), int(chunk_src.max())) >= n_vertices
+        or min(int(chunk_dst.min()), int(chunk_src.min())) < 0
+    ):
+        raise IOFormatError(
+            f"{name}: vertex id outside the declared range [0, {n_vertices})"
+        )
+
+
+def _ingest_stream(
+    chunk_iter,
+    report: IngestReport,
+    out_path: Path,
+    *,
+    value_dtype: np.dtype | None,
+    final_value_dtype: np.dtype,
+    n_vertices: int | None,
+    n_partitions: int,
+    strategy: str,
+    include_caches: bool,
+    source_name: str,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> IngestReport:
+    spill_record = _spill_dtype(value_dtype)
+    degree = _DegreeCounter()
+    raw_edges = 0
+
+    # ---- Pass 1: parse text, spill binary records, count degrees -------
+    t0 = time.perf_counter()
+    with tempfile.TemporaryFile() as spill:
+        for dst, src, val, seq in chunk_iter:
+            if n_vertices is not None:
+                _check_vertex_bound(dst, src, n_vertices, source_name)
+            record = np.empty(dst.shape[0], dtype=spill_record)
+            record["dst"] = dst
+            record["src"] = src
+            record["seq"] = seq
+            if value_dtype is not None:
+                record["val"] = val
+            spill.write(memoryview(record).cast("B"))
+            degree.add(dst, src)
+            raw_edges += dst.shape[0]
+            report.chunks += 1
+        if n_vertices is None:
+            n_vertices = degree.max_vertex + 1
+        report.n_vertices = n_vertices
+        report.n_edges_raw = raw_edges
+        report.parse_seconds = time.perf_counter() - t0
+
+        # ---- Partition ranges over the destination (output-row) space --
+        n_partitions = max(1, min(int(n_partitions), max(1, n_vertices)))
+        if strategy == "rows":
+            ranges = row_ranges_equal_rows(n_vertices, n_partitions)
+        elif strategy == "nnz":
+            counts = np.zeros(n_vertices, dtype=np.int64)
+            limit = min(n_vertices, degree.counts.shape[0])
+            counts[:limit] = degree.counts[:limit]
+            ranges = row_ranges_equal_nnz(n_vertices, counts, n_partitions)
+        else:
+            raise IOFormatError(f"unknown partition strategy {strategy!r}")
+        report.n_partitions = n_partitions
+        report.strategy = strategy
+
+        # ---- Pass 2: route spill records into per-partition shards -----
+        t0 = time.perf_counter()
+        uppers = np.asarray([hi for (_, hi) in ranges], dtype=np.int64)
+        shard_files = [tempfile.TemporaryFile() for _ in ranges]
+        try:
+            spill.seek(0)
+            # The route pass honours the caller's chunk size too: the
+            # documented memory bound is one partition + one chunk.
+            chunk_bytes = max(1, int(chunk_edges)) * spill_record.itemsize
+            while True:
+                raw = spill.read(chunk_bytes)
+                if not raw:
+                    break
+                records = np.frombuffer(raw, dtype=spill_record)
+                part = np.searchsorted(uppers[:-1], records["dst"], side="right")
+                order = np.argsort(part, kind="stable")
+                sorted_records = records[order]
+                sorted_part = part[order]
+                boundaries = np.searchsorted(
+                    sorted_part, np.arange(len(ranges) + 1)
+                )
+                for p in range(len(ranges)):
+                    lo, hi = int(boundaries[p]), int(boundaries[p + 1])
+                    if hi > lo:
+                        shard_files[p].write(
+                            memoryview(sorted_records[lo:hi]).cast("B")
+                        )
+            report.route_seconds = time.perf_counter() - t0
+
+            # ---- Pass 3: finalize one partition at a time --------------
+            t0 = time.perf_counter()
+            shape = (n_vertices, n_vertices)
+            writer = SnapshotWriter(out_path)
+            with writer:
+                rows_stream = writer.stream("edges/rows", np.int64)
+                cols_stream = writer.stream("edges/cols", np.int64)
+                vals_stream = writer.stream("edges/vals", final_value_dtype)
+                blocks_doc = []
+                dedup_edges = 0
+                for p, row_range in enumerate(ranges):
+                    shard_files[p].seek(0)
+                    records = np.frombuffer(
+                        shard_files[p].read(), dtype=spill_record
+                    )
+                    shard_files[p].close()
+                    shard_files[p] = None
+                    report.peak_partition_edges = max(
+                        report.peak_partition_edges, records.shape[0]
+                    )
+                    block = _finalize_partition(
+                        records,
+                        shape,
+                        row_range,
+                        value_dtype,
+                        final_value_dtype,
+                    )
+                    dedup_edges += block.nnz
+                    # Graph edges of this partition, derivable from the
+                    # A^T block: src = expanded columns, dst = ir.
+                    rows_stream.append(block.col_expanded())
+                    cols_stream.append(block.ir)
+                    vals_stream.append(block.num)
+                    blocks_doc.append(
+                        _block_document(writer, p, block, include_caches)
+                    )
+                document = {
+                    "kind": "graph",
+                    "meta": {
+                        "source": source_name,
+                        "ingest": "streaming",
+                        "format": report.format,
+                    },
+                    "graph": {
+                        "n_vertices": n_vertices,
+                        "n_edges": dedup_edges,
+                    },
+                    "edges": {
+                        "rows": "edges/rows",
+                        "cols": "edges/cols",
+                        "vals": "edges/vals",
+                    },
+                    "views": [
+                        {
+                            "direction": "out",
+                            "n_partitions": n_partitions,
+                            "strategy": strategy,
+                            "shape": [n_vertices, n_vertices],
+                            "blocks": blocks_doc,
+                        }
+                    ],
+                }
+                writer.close(document)
+            report.n_edges = dedup_edges
+            report.finalize_seconds = time.perf_counter() - t0
+            report.snapshot_bytes = out_path.stat().st_size
+        finally:
+            for handle in shard_files:
+                if handle is not None:
+                    handle.close()
+    return report
+
+
+def _finalize_partition(
+    records: np.ndarray,
+    shape: tuple[int, int],
+    row_range: tuple[int, int],
+    value_dtype: np.dtype | None,
+    final_value_dtype: np.dtype,
+) -> DCSCMatrix:
+    """Dedup one shard (keep last by ``seq``) and compress it to DCSC."""
+    dst = np.ascontiguousarray(records["dst"])
+    src = np.ascontiguousarray(records["src"])
+    if value_dtype is not None:
+        val = np.ascontiguousarray(records["val"])
+    else:
+        val = np.ones(dst.shape[0], dtype=final_value_dtype)
+    if dst.size:
+        order = np.lexsort((records["seq"], src, dst))
+        dst, src, val = dst[order], src[order], val[order]
+        keep = np.empty(dst.shape[0], dtype=bool)
+        keep[-1] = True
+        keep[:-1] = (dst[1:] != dst[:-1]) | (src[1:] != src[:-1])
+        dst, src, val = dst[keep], src[keep], val[keep]
+    if val.dtype != final_value_dtype:
+        val = val.astype(final_value_dtype)
+    piece = COOMatrix(shape, dst, src, val)
+    return DCSCMatrix.from_coo(piece, row_range=row_range)
+
+
+def _block_document(
+    writer: SnapshotWriter, p: int, block: DCSCMatrix, include_caches: bool
+) -> dict:
+    from repro.store.snapshot import _write_block
+
+    return _write_block(writer, f"views/0/blocks/{p}", block, include_caches)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def ingest_edge_list(
+    source: str | Path,
+    snapshot: str | Path,
+    *,
+    weighted: bool = False,
+    comment: str = "#",
+    n_vertices: int | None = None,
+    n_partitions: int = 8,
+    strategy: str = "rows",
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    include_caches: bool = False,
+) -> IngestReport:
+    """Stream a (possibly gzipped) edge list into a snapshot."""
+    source, snapshot = Path(source), Path(snapshot)
+    report = IngestReport(
+        source=str(source), snapshot=str(snapshot), format="edgelist"
+    )
+    with open_text(source) as handle:
+        return _ingest_stream(
+            _edge_list_chunks(
+                handle,
+                str(source),
+                weighted=weighted,
+                comment=comment,
+                chunk_edges=max(1, int(chunk_edges)),
+            ),
+            report,
+            snapshot,
+            value_dtype=np.dtype(np.float64) if weighted else None,
+            final_value_dtype=(
+                np.dtype(np.float64) if weighted else np.dtype(np.int64)
+            ),
+            n_vertices=n_vertices,
+            n_partitions=n_partitions,
+            strategy=strategy,
+            include_caches=include_caches,
+            source_name=str(source),
+            chunk_edges=chunk_edges,
+        )
+
+
+def ingest_mtx(
+    source: str | Path,
+    snapshot: str | Path,
+    *,
+    n_partitions: int = 8,
+    strategy: str = "rows",
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    include_caches: bool = False,
+) -> IngestReport:
+    """Stream a (possibly gzipped) MatrixMarket file into a snapshot."""
+    source, snapshot = Path(source), Path(snapshot)
+    report = IngestReport(source=str(source), snapshot=str(snapshot), format="mtx")
+    with open_text(source) as handle:
+        mtx_field, symmetry, n, nnz = parse_mtx_header(handle, str(source))
+        final_dtype = (
+            np.dtype(np.int64) if mtx_field == "integer" else np.dtype(np.float64)
+        )
+        report.extra = {"field": mtx_field, "symmetry": symmetry}
+        return _ingest_stream(
+            _mtx_chunks(
+                handle,
+                str(source),
+                field=mtx_field,
+                symmetry=symmetry,
+                n_vertices=n,
+                nnz=nnz,
+                chunk_edges=max(1, int(chunk_edges)),
+            ),
+            report,
+            snapshot,
+            # Values parse as float64 (read_mtx semantics) and convert to
+            # int64 at finalize for integer fields.
+            value_dtype=np.dtype(np.float64),
+            final_value_dtype=final_dtype,
+            n_vertices=n,
+            n_partitions=n_partitions,
+            strategy=strategy,
+            include_caches=include_caches,
+            source_name=str(source),
+            chunk_edges=chunk_edges,
+        )
+
+
+def sniff_format(path: str | Path) -> str:
+    """Guess ``"mtx"`` or ``"edgelist"`` from suffix, then content."""
+    path = Path(path)
+    suffixes = [s.lower() for s in path.suffixes]
+    if ".mtx" in suffixes or ".mm" in suffixes:
+        return "mtx"
+    if suffixes and suffixes[-1] in (".tsv", ".txt", ".edges", ".el"):
+        return "edgelist"
+    try:
+        with open_text(path) as handle:
+            first = handle.readline()
+    except OSError:
+        return "edgelist"
+    return "mtx" if first.startswith("%%MatrixMarket") else "edgelist"
+
+
+def ingest_file(
+    source: str | Path,
+    snapshot: str | Path,
+    *,
+    format: str = "auto",
+    **kwargs,
+) -> IngestReport:
+    """Dispatch to :func:`ingest_mtx` / :func:`ingest_edge_list`."""
+    fmt = sniff_format(source) if format == "auto" else format
+    if fmt == "mtx":
+        kwargs.pop("weighted", None)
+        kwargs.pop("comment", None)
+        kwargs.pop("n_vertices", None)
+        return ingest_mtx(source, snapshot, **kwargs)
+    if fmt == "edgelist":
+        return ingest_edge_list(source, snapshot, **kwargs)
+    raise IOFormatError(f"unknown ingest format {fmt!r}")

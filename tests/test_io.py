@@ -1,5 +1,7 @@
 """Graph I/O tests: MatrixMarket and edge-list round trips and error cases."""
 
+import gzip
+
 import numpy as np
 import pytest
 
@@ -172,6 +174,38 @@ class TestEdgeList:
         path.write_text("0 1\n", encoding="utf-8")
         with pytest.raises(IOFormatError):
             read_edge_list(path, weighted=True)
+
+
+class TestGzipTransparency:
+    def test_edge_list_gz_suffix(self, tmp_path, weighted_graph):
+        plain = tmp_path / "edges.tsv"
+        write_edge_list(weighted_graph, plain, weighted=True)
+        compressed = tmp_path / "edges.tsv.gz"
+        with gzip.open(compressed, "wt", encoding="utf-8") as handle:
+            handle.write(plain.read_text())
+        back = read_edge_list(compressed, weighted=True)
+        assert matrices_equal(back.edges, weighted_graph.edges)
+
+    def test_mtx_gz_suffix(self, tmp_path, weighted_graph):
+        plain = tmp_path / "g.mtx"
+        write_mtx(weighted_graph, plain)
+        compressed = tmp_path / "g.mtx.gz"
+        with gzip.open(compressed, "wt", encoding="utf-8") as handle:
+            handle.write(plain.read_text())
+        back = read_mtx(compressed)
+        assert matrices_equal(back.edges, weighted_graph.edges)
+
+    def test_gzip_magic_without_suffix(self, tmp_path):
+        """A gzipped file with a plain name still reads (magic sniff)."""
+        path = tmp_path / "edges.tsv"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("0 1\n1 2\n")
+        assert read_edge_list(path).n_edges == 2
+
+    def test_plain_text_still_reads(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("0 1\n", encoding="utf-8")
+        assert read_edge_list(path).n_edges == 1
 
 
 def test_mtx_survives_rmat(tmp_path, rmat_small):
