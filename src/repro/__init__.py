@@ -19,12 +19,16 @@ Quickstart::
 """
 
 from repro.algorithms import (
+    bfs_multi_source,
+    pagerank_personalized_batch,
     run_bfs,
     run_collaborative_filtering,
     run_connected_components,
     run_pagerank,
+    run_personalized_pagerank,
     run_sssp,
     run_triangle_count,
+    sssp_landmarks,
 )
 from repro.core import (
     DEFAULT_OPTIONS,
@@ -79,9 +83,14 @@ __all__ = [
     "bipartite_rating_graph",
     # algorithms
     "run_pagerank",
+    "run_personalized_pagerank",
     "run_bfs",
     "run_sssp",
     "run_triangle_count",
     "run_collaborative_filtering",
     "run_connected_components",
+    # batched multi-query drivers
+    "bfs_multi_source",
+    "pagerank_personalized_batch",
+    "sssp_landmarks",
 ]

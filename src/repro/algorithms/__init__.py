@@ -1,5 +1,11 @@
 """The paper's five algorithms (plus extensions) as GraphMat programs."""
 
+from repro.algorithms.batched import (
+    MultiSourceResult,
+    bfs_multi_source,
+    pagerank_personalized_batch,
+    sssp_landmarks,
+)
 from repro.algorithms.bfs import BFSProgram, BFSResult, init_bfs, run_bfs
 from repro.algorithms.collaborative_filtering import (
     CFGradientProgram,
@@ -22,8 +28,11 @@ from repro.algorithms.label_propagation import (
 from repro.algorithms.pagerank import (
     PageRankProgram,
     PageRankResult,
+    PersonalizedPageRankProgram,
     init_pagerank,
+    init_personalized_pagerank,
     run_pagerank,
+    run_personalized_pagerank,
 )
 from repro.algorithms.sssp import SSSPProgram, SSSPResult, init_sssp, run_sssp
 from repro.algorithms.triangle_count import (
@@ -36,8 +45,15 @@ from repro.algorithms.triangle_count import (
 __all__ = [
     "PageRankProgram",
     "PageRankResult",
+    "PersonalizedPageRankProgram",
     "init_pagerank",
+    "init_personalized_pagerank",
     "run_pagerank",
+    "run_personalized_pagerank",
+    "MultiSourceResult",
+    "bfs_multi_source",
+    "pagerank_personalized_batch",
+    "sssp_landmarks",
     "BFSProgram",
     "BFSResult",
     "init_bfs",

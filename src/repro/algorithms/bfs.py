@@ -43,6 +43,10 @@ class BFSProgram(GraphProgram):
     property_spec = FLOAT64
     reduce_ufunc = np.minimum
     reduce_identity = np.inf
+    # A real message is a finite distance; +1 keeps it finite, so a
+    # reduction equal to inf can only mean "no lane message" — the
+    # batched kernels may derive received masks by value.
+    batch_received_by_value = True
 
     # -- scalar hooks ----------------------------------------------------
     def send_message(self, vertex_prop):
@@ -66,6 +70,13 @@ class BFSProgram(GraphProgram):
 
     def apply_batch(self, reduced, props):
         return np.minimum(reduced, props)
+
+    # -- K-lane hooks (batched engine) -------------------------------------
+    def send_message_lanes(self, props_lanes, active_lanes):
+        return props_lanes
+
+    def apply_lanes(self, reduced_lanes, props_lanes):
+        return np.minimum(reduced_lanes, props_lanes)
 
 
 @dataclass

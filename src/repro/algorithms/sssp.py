@@ -38,6 +38,9 @@ class SSSPProgram(GraphProgram):
     property_spec = FLOAT64
     reduce_ufunc = np.minimum
     reduce_identity = np.inf
+    # Finite distances plus finite non-negative weights stay finite, so
+    # an inf reduction can only mean "no lane message" (see BFS).
+    batch_received_by_value = True
 
     # -- scalar hooks ----------------------------------------------------
     def send_message(self, vertex_prop):
@@ -61,6 +64,13 @@ class SSSPProgram(GraphProgram):
 
     def apply_batch(self, reduced, props):
         return np.minimum(reduced, props)
+
+    # -- K-lane hooks (batched engine) -------------------------------------
+    def send_message_lanes(self, props_lanes, active_lanes):
+        return props_lanes
+
+    def apply_lanes(self, reduced_lanes, props_lanes):
+        return np.minimum(reduced_lanes, props_lanes)
 
 
 @dataclass

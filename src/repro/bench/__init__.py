@@ -6,6 +6,11 @@ from repro.bench.backends import (
     summarize,
     write_backend_record,
 )
+from repro.bench.batch import (
+    bench_batch,
+    summarize as summarize_batch,
+    write_batch_record,
+)
 from repro.bench.calibrate import machine_calibration
 from repro.bench.ingest import (
     bench_ingest,
@@ -31,7 +36,10 @@ from repro.bench.tables import (
 __all__ = [
     "backend_configs",
     "bench_backends",
+    "bench_batch",
     "bench_ingest",
+    "summarize_batch",
+    "write_batch_record",
     "machine_calibration",
     "summarize",
     "summarize_ingest",

@@ -62,9 +62,14 @@ import numpy as np
 
 from repro.core.graph_program import EdgeDirection, GraphProgram
 from repro.core.options import DEFAULT_OPTIONS, EngineOptions
-from repro.core.spmv import PartitionWork, spmv_scalar
+from repro.core.spmv import KernelThresholds, PartitionWork, spmv_scalar
 from repro.errors import ConvergenceError, ProgramError
-from repro.exec import SerialExecutor, SuperstepWorkspace, create_executor
+from repro.exec import (
+    BatchWorkspace,
+    SerialExecutor,
+    SuperstepWorkspace,
+    create_executor,
+)
 from repro.graph.graph import Graph
 from repro.vector.sparse_vector import BitvectorVector, make_sparse_vector
 
@@ -84,6 +89,20 @@ class IterationStats:
     #: How many blocks ran each fused kernel this superstep
     #: (``{"scalar": 3, "dense-pull": 5, ...}``; empty on the scalar path).
     kernel_counts: dict[str, int] = field(default_factory=dict)
+    #: Fraction of vertices that sent a message this superstep
+    #: (``messages_sent / n_vertices``) — the global density signal
+    #: behind the per-block kernel selections, recorded so benchmarks
+    #: can explain kernel flips across supersteps.
+    frontier_density: float = 0.0
+
+
+def _kernel_totals(iterations: list[IterationStats]) -> dict[str, int]:
+    """Per-kernel block counts summed over a run's supersteps."""
+    totals: dict[str, int] = {}
+    for it in iterations:
+        for kernel, count in it.kernel_counts.items():
+            totals[kernel] = totals.get(kernel, 0) + count
+    return totals
 
 
 @dataclass
@@ -118,11 +137,7 @@ class RunStats:
 
     def kernel_totals(self) -> dict[str, int]:
         """Fused kernel selections summed over all supersteps."""
-        totals: dict[str, int] = {}
-        for it in self.iterations:
-            for kernel, count in it.kernel_counts.items():
-                totals[kernel] = totals.get(kernel, 0) + count
-        return totals
+        return _kernel_totals(self.iterations)
 
 
 class Workspace:
@@ -312,6 +327,7 @@ def run_graph_program(
         used_fused_path=use_fused,
         backend=executor.name if executor is not None else "serial",
     )
+    thresholds = KernelThresholds.from_options(options)
     properties = graph.vertex_properties
     n = graph.n_vertices
     start = time.perf_counter()
@@ -398,6 +414,7 @@ def run_graph_program(
                         superstep.view_scratch(view_index)
                         if superstep is not None
                         else None,
+                        thresholds,
                     )
                 else:
                     edges += spmv_scalar(
@@ -461,6 +478,7 @@ def run_graph_program(
                     seconds=time.perf_counter() - t_iter,
                     partition_work=partition_work or [],
                     kernel_counts=kernel_counts,
+                    frontier_density=messages_sent / n if n else 0.0,
                 )
             )
             iteration += 1
@@ -473,3 +491,405 @@ def run_graph_program(
         # Ran out of budget; check quiescence for the flag's sake.
         stats.converged = graph.active_count == 0
     return stats
+
+
+# ----------------------------------------------------------------------
+# Batched multi-frontier driver: K concurrent queries, one edge sweep
+# ----------------------------------------------------------------------
+@dataclass
+class BatchRun:
+    """Result of one :func:`run_graph_programs_batched` invocation.
+
+    ``properties`` holds the final per-lane vertex state, lane-major
+    (``(K, n_vertices, *property_shape)``); ``properties[k]`` is bitwise
+    identical to what a sequential :func:`run_graph_program` of query
+    ``k`` would have left in ``graph.vertex_properties``.  ``lane_stats``
+    records one :class:`RunStats` per lane (per-lane supersteps, message
+    counts, convergence); ``iterations`` records the *shared* sweeps —
+    its ``edges_processed`` counts each edge once per superstep no
+    matter how many lanes it served, which is the whole point.
+    """
+
+    properties: np.ndarray
+    lane_stats: list[RunStats] = field(default_factory=list)
+    iterations: list[IterationStats] = field(default_factory=list)
+    total_seconds: float = 0.0
+    backend: str = "serial"
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self.lane_stats)
+
+    @property
+    def n_supersteps(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def converged(self) -> bool:
+        """True when every lane quiesced."""
+        return all(stats.converged for stats in self.lane_stats)
+
+    @property
+    def total_edges_processed(self) -> int:
+        """Edges swept across all supersteps (shared across lanes)."""
+        return sum(it.edges_processed for it in self.iterations)
+
+    def kernel_totals(self) -> dict[str, int]:
+        """SpMM kernel selections summed over all supersteps."""
+        return _kernel_totals(self.iterations)
+
+    def lane_properties(self, lane: int) -> np.ndarray:
+        """One lane's final vertex state, shape ``(n_vertices, *shape)``."""
+        return self.properties[lane]
+
+
+def _validate_batch(programs, lane_properties, lane_active, n_vertices, options):
+    """Shape/capability checks for the batched driver; raise ProgramError."""
+    if not programs:
+        raise ProgramError("batched run needs at least one program instance")
+    program0 = programs[0]
+    program0.validate()
+    for k, program in enumerate(programs[1:], start=1):
+        if type(program) is not type(program0):
+            raise ProgramError(
+                f"batched lanes must run instances of one program class; "
+                f"lane 0 is {type(program0).__name__}, lane {k} is "
+                f"{type(program).__name__}"
+            )
+        if program.direction is not program0.direction:
+            raise ProgramError("batched lanes must share an edge direction")
+        program.validate()
+    if not program0.supports_batched():
+        raise ProgramError(
+            f"{type(program0).__name__} cannot run on the batched SpMM path "
+            f"(requires the fused batch surface, scalar numeric message/"
+            f"result specs, a reduce ufunc and a masking identity)"
+        )
+    if not (options.fused and options.use_bitvector):
+        raise ProgramError(
+            "the batched engine is inherently fused; run with "
+            "fused=True and use_bitvector=True"
+        )
+    spec = program0.property_spec
+    expected = (len(programs), n_vertices, *spec.shape)
+    if tuple(lane_properties.shape) != expected:
+        raise ProgramError(
+            f"lane_properties shape {tuple(lane_properties.shape)} does not "
+            f"match (K, n_vertices, *property_shape) = {expected}"
+        )
+    if tuple(lane_active.shape) != (len(programs), n_vertices):
+        raise ProgramError(
+            f"lane_active shape {tuple(lane_active.shape)} does not match "
+            f"(K, n_vertices) = {(len(programs), n_vertices)}"
+        )
+
+
+def run_graph_programs_batched(
+    graph: Graph,
+    programs,
+    lane_properties: np.ndarray,
+    lane_active: np.ndarray,
+    options: EngineOptions = DEFAULT_OPTIONS,
+    *,
+    counters=None,
+    safety_cap: int = 100_000,
+) -> BatchRun:
+    """Run K instances of one vertex-program class in a single BSP loop.
+
+    The batched analogue of :func:`run_graph_program`: each superstep
+    sends every live lane's messages into one
+    :class:`~repro.vector.multi_frontier.MultiFrontier`, performs **one
+    SpMM sweep** over the matrix view(s) serving all lanes at once
+    (:func:`repro.core.spmv.run_block_batch`), and applies per lane.
+    Serving K queries costs one edge sweep per superstep instead of K —
+    the amortization the GraphBLAS multi-vector generalization exists
+    for.  Lanes converge independently: a lane with no active vertices
+    drops out of the lane mask (its frontier stays empty, adding nothing
+    to later sweeps) while the loop continues until every lane quiesces
+    or the iteration budget runs out.
+
+    Unlike the sequential driver, per-lane state does NOT live on the
+    graph: callers pass the initial per-lane properties, lane-major
+    (``(K, n_vertices, *property_shape)``), and active mask
+    (``(K, n_vertices)``), and read results from the returned
+    :class:`BatchRun` (inputs are copied, not mutated).  ``programs``
+    are K instances of one class — per-lane constructor parameters may
+    differ only where they affect ``send``/``apply`` (called per lane);
+    ``process_message``/``reduce`` semantics are taken from lane 0 and
+    broadcast across the shared sweep.
+
+    Views resolve through the same ``options.snapshot_cache`` machinery
+    as the sequential engine, so batched runs reuse mmap'd DCSC views
+    without re-partitioning, and ``options.backend`` selects the same
+    serial / threaded / process executors (partition-disjoint row ranges
+    make the K-lane accumulation lock-free on every backend).
+    """
+    programs = list(programs)
+    n = graph.n_vertices
+    n_lanes = len(programs)
+    program0 = programs[0] if programs else None
+    lane_properties = np.array(
+        np.asarray(lane_properties), dtype=program0.property_spec.dtype
+        if program0 is not None else None, copy=True, order="C",
+    )
+    lane_active = np.array(np.asarray(lane_active, dtype=bool), copy=True)
+    _validate_batch(programs, lane_properties, lane_active, n, options)
+
+    views = _matrix_views(graph, program0.direction, options)
+    thresholds = KernelThresholds.from_options(options)
+    executor = create_executor(options)
+    if not executor.supports(program0):
+        executor.close()
+        executor = SerialExecutor(options.n_workers)
+    # Process workers hold their own scratch (see Workspace).
+    workspace = BatchWorkspace(
+        n, n_lanes, program0, views, fused=executor.name != "process"
+    )
+    run = BatchRun(
+        properties=lane_properties,
+        lane_stats=[
+            RunStats(used_fused_path=True, backend=executor.name)
+            for _ in range(n_lanes)
+        ],
+        backend=executor.name,
+    )
+    lane_converged = np.zeros(n_lanes, dtype=bool)
+    x, y = workspace.x, workspace.y
+    # Equivalent lane instances unlock the full-width lane hooks (one
+    # vectorized send/apply over the whole (n, K) block instead of K
+    # per-lane passes).  Lanes with differing constructor parameters
+    # fall back to the per-lane hooks, which see their own instance.
+    uniform_lanes = all(
+        type(p) is type(program0) and vars(p) == vars(program0)
+        for p in programs
+    )
+    start = time.perf_counter()
+    iteration = 0
+    try:
+        executor.prepare(views, program0)
+        while True:
+            if options.max_iterations != -1 and iteration >= options.max_iterations:
+                break
+            if options.max_iterations == -1 and iteration >= safety_cap:
+                raise ConvergenceError(
+                    f"batched run did not quiesce within {safety_cap} supersteps"
+                )
+            active_before = lane_active.sum(axis=1)
+            newly_quiet = ~lane_converged & (active_before == 0)
+            for k in np.flatnonzero(newly_quiet):
+                run.lane_stats[int(k)].converged = True
+            lane_converged |= newly_quiet
+            live = np.flatnonzero(~lane_converged)
+            if live.size == 0:
+                break
+            t_iter = time.perf_counter()
+
+            # -- Send phase -------------------------------------------
+            workspace.reset()
+            wide_messages = (
+                program0.send_message_lanes(lane_properties, lane_active)
+                if uniform_lanes
+                else None
+            )
+            if wide_messages is not None:
+                # Full-width send: one masked copy covers every lane.
+                x.set_from_mask(lane_active, np.asarray(wide_messages))
+                lane_messages = active_before.astype(np.int64)
+                lane_messages[lane_converged] = 0
+            else:
+                lane_messages = np.zeros(n_lanes, dtype=np.int64)
+                for k in live:
+                    k = int(k)
+                    active_idx = np.flatnonzero(lane_active[k])
+                    sent = programs[k].send_message_batch(
+                        lane_properties[k, active_idx], active_idx
+                    )
+                    if isinstance(sent, tuple):
+                        send_mask, messages = sent
+                        send_mask = np.asarray(send_mask, dtype=bool)
+                        senders = active_idx[send_mask]
+                        messages = np.asarray(messages)[send_mask]
+                    else:
+                        senders, messages = active_idx, np.asarray(sent)
+                    x.scatter_lane(k, senders, messages)
+                    lane_messages[k] = senders.shape[0]
+            if counters is not None:
+                counters.record(
+                    user_calls=int(live.size),
+                    element_ops=int(active_before.sum()),
+                    random_accesses=int(lane_messages.sum()),
+                )
+
+            # -- SpMM phase: one sweep serves every live lane -----------
+            partition_work: list[PartitionWork] | None = (
+                [] if options.record_partition_stats else None
+            )
+            kernel_counts: dict[str, int] = {}
+            edges = 0
+            for view_index, view in enumerate(views):
+                edges += executor.spmm(
+                    view_index,
+                    view,
+                    x,
+                    y,
+                    program0,
+                    lane_properties,
+                    counters,
+                    partition_work,
+                    kernel_counts,
+                    workspace.view_scratch(view_index),
+                    thresholds,
+                )
+
+            # -- Apply phase --------------------------------------------
+            y_valid = y.valid_mask()
+            received_per_lane = y_valid.sum(axis=1)
+            wide_new = None
+            # The full-width apply computes over every (lane, vertex)
+            # slot; worth it only when most slots actually received
+            # (PageRank-style dense supersteps), else per-lane updates
+            # on the received subsets win.
+            wide_dense = (
+                uniform_lanes
+                and 2 * int(received_per_lane.sum()) > n * n_lanes
+            )
+            applied_inplace = (
+                wide_dense
+                and program0.reactivate_all
+                and program0.apply_lanes_inplace(
+                    y.values, lane_properties, y_valid
+                )
+            )
+            if not applied_inplace and wide_dense:
+                wide_new = program0.apply_lanes(y.values, lane_properties)
+            if applied_inplace:
+                # Fully dense reactivating superstep applied in place:
+                # no property copy, no equality pass.
+                lane_active[:] = False
+                lane_active[live] = True
+                lane_rows = [
+                    (int(k), int(received_per_lane[k]), n) for k in live
+                ]
+            elif wide_new is not None:
+                wide_new = np.asarray(wide_new)
+                if program0.reactivate_all:
+                    # Activity is unconditional: skip the (K, n)
+                    # equality pass entirely (the sequential engine's
+                    # comparison is dead work under reactivate_all too,
+                    # but there it rides along per lane).
+                    if bool(y_valid.all()):
+                        # Every slot received: adopt the new block
+                        # wholesale instead of a masked copy.
+                        lane_properties = wide_new
+                    else:
+                        adopt = y_valid.reshape(
+                            y_valid.shape + (1,) * (lane_properties.ndim - 2)
+                        )
+                        np.copyto(lane_properties, wide_new, where=adopt)
+                    lane_active[:] = False
+                    lane_active[live] = True
+                    lane_rows = [
+                        (int(k), int(received_per_lane[k]), n) for k in live
+                    ]
+                else:
+                    unchanged = program0.properties_equal_lanes(
+                        lane_properties, wide_new
+                    )
+                    adopt = y_valid.reshape(
+                        y_valid.shape + (1,) * (lane_properties.ndim - 2)
+                    )
+                    np.copyto(lane_properties, wide_new, where=adopt)
+                    np.logical_and(y_valid, ~unchanged, out=lane_active)
+                    lane_active[lane_converged] = False
+                    activated_per_lane = lane_active.sum(axis=1)
+                    lane_rows = [
+                        (
+                            int(k),
+                            int(received_per_lane[k]),
+                            int(activated_per_lane[k]),
+                        )
+                        for k in live
+                    ]
+            else:
+                lane_rows = []
+                for k in live:
+                    k = int(k)
+                    updated_idx = np.flatnonzero(y_valid[k])
+                    lane_active[k] = False
+                    if updated_idx.size:
+                        reduced = y.values[k, updated_idx]
+                        old_props = lane_properties[k, updated_idx]
+                        new_props = programs[k].apply_batch(reduced, old_props)
+                        lane_properties[k, updated_idx] = new_props
+                        unchanged = programs[k].properties_equal_batch(
+                            old_props, new_props
+                        )
+                        activated_idx = updated_idx[~unchanged]
+                        lane_active[k, activated_idx] = True
+                        vertices_updated = int(updated_idx.size)
+                        activated = int(activated_idx.size)
+                    else:
+                        vertices_updated = activated = 0
+                    if programs[k].reactivate_all:
+                        lane_active[k] = True
+                        activated = n
+                    lane_rows.append((k, vertices_updated, activated))
+            if counters is not None:
+                total_updated = sum(row[1] for row in lane_rows)
+                counters.record(
+                    user_calls=2 * int(live.size),
+                    element_ops=total_updated,
+                    random_accesses=2 * total_updated,
+                )
+
+            seconds = time.perf_counter() - t_iter
+            for k, vertices_updated, activated in lane_rows:
+                run.lane_stats[k].iterations.append(
+                    IterationStats(
+                        iteration=iteration,
+                        active_before=int(active_before[k]),
+                        messages_sent=int(lane_messages[k]),
+                        edges_processed=edges,
+                        vertices_updated=vertices_updated,
+                        activated=activated,
+                        seconds=seconds,
+                        # Fresh dict per stats object: shared sweeps,
+                        # but independently mutable records.
+                        kernel_counts=dict(kernel_counts),
+                        frontier_density=(
+                            int(lane_messages[k]) / n if n else 0.0
+                        ),
+                    )
+                )
+            run.iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    active_before=int(active_before[live].sum()),
+                    messages_sent=int(lane_messages.sum()),
+                    edges_processed=edges,
+                    vertices_updated=sum(row[1] for row in lane_rows),
+                    activated=sum(row[2] for row in lane_rows),
+                    seconds=seconds,
+                    partition_work=partition_work or [],
+                    kernel_counts=kernel_counts,
+                    # Union density: the signal the aggregate-density
+                    # kernel selection actually sees.
+                    frontier_density=(
+                        int(x.any_mask().sum()) / n if n else 0.0
+                    ),
+                )
+            )
+            iteration += 1
+    finally:
+        executor.close()
+
+    run.total_seconds = time.perf_counter() - start
+    run.properties = lane_properties  # the wholesale-adopt path swaps it
+    for stats in run.lane_stats:
+        stats.total_seconds = run.total_seconds
+    if options.max_iterations != -1:
+        # Budget exhausted; record which lanes happen to be quiescent.
+        for k in range(n_lanes):
+            if not run.lane_stats[k].converged:
+                run.lane_stats[k].converged = not lane_active[k].any()
+    return run

@@ -68,6 +68,19 @@ class GraphProgram:
     #: senders must keep broadcasting even if their own state is stable).
     #: Such programs never quiesce; run them with a max_iterations budget.
     reactivate_all: bool = False
+    #: Whether the batched SpMM kernels must gather per-lane destination
+    #: properties for :meth:`process_message_lanes` (a ``(K, edges, ...)``
+    #: gather; off by default because none of the built-in programs read
+    #: ``dst_props`` in their process hook).
+    batch_needs_dst_props: bool = False
+    #: Certify that a *real* message never processes+reduces to the
+    #: masking identity — then the batched kernels derive each lane's
+    #: received mask by comparing the (output-sized) reduction against
+    #: the identity instead of gathering a ``(K, edges)`` sent mask.
+    #: BFS/SSSP qualify (finite distances stay finite under +1/+w);
+    #: saturating programs, where a real value can equal the identity
+    #: sentinel, must leave this False.
+    batch_received_by_value: bool = False
     #: Optional absorbing identity of ``reduce`` (e.g. ``inf`` for min).
     #: Declaring it lets the fused engine process *dense* frontiers over the
     #: whole edge array with silent sources masked to the identity, skipping
@@ -181,6 +194,94 @@ class GraphProgram:
         """
         return None
 
+    def process_message_lanes(
+        self,
+        messages: np.ndarray,
+        edge_values: np.ndarray,
+        dst_props: np.ndarray | None,
+    ) -> np.ndarray:
+        """Vectorized ``process_message`` over a ``(K, edges)`` lane block.
+
+        The batched SpMM engine (:func:`repro.core.spmv.run_block_batch`)
+        gathers each active column's edge span once and presents all K
+        concurrent frontiers' messages as a lane-major 2-D block; lanes
+        that did not send along an edge carry
+        :meth:`batch_reduce_identity` in that slot.  The default
+        forwards to :meth:`process_message_batch` — the per-edge values
+        (shape ``(edges,)``) broadcast naturally against the lane block —
+        which is exact for any program whose processing is elementwise
+        in the message (all the built-in scalar programs).  Programs
+        that mix lanes or index ``dst_props`` non-elementwise must
+        override this.
+
+        ``dst_props`` is ``None`` unless the program sets
+        ``batch_needs_dst_props``; when set, it arrives with shape
+        ``(K, edges, *property_shape)``.
+        """
+        return self.process_message_batch(messages, edge_values, dst_props)
+
+    def send_message_lanes(self, props_lanes: np.ndarray, active_lanes: np.ndarray):
+        """Optional full-width K-lane send hook.
+
+        Return a ``(K, n_vertices)`` message block for *every*
+        (lane, vertex) slot — the driver masks it to the active lanes —
+        or ``None`` (the default) to fall back to one
+        :meth:`send_message_batch` call per lane.  Only consulted when
+        every lane runs an equivalent program instance, and only valid
+        for programs where every active vertex sends (no tuple-mask
+        declines).  One vectorized expression here replaces K gather +
+        scatter round-trips per superstep.
+        """
+        return None
+
+    def apply_lanes(self, reduced_lanes: np.ndarray, props_lanes: np.ndarray):
+        """Optional full-width K-lane apply hook.
+
+        Given the ``(K, n_vertices)`` reduced block and the
+        ``(K, n_vertices, *property_shape)`` current properties, return
+        the full new property block (a fresh array, never the input) —
+        the driver adopts only the slots that actually received a
+        message, so values computed from stale ``reduced`` entries at
+        silent slots are discarded.  Return ``None`` (the default) for
+        per-lane :meth:`apply_batch` calls.
+        """
+        return None
+
+    def apply_lanes_inplace(
+        self,
+        reduced_lanes: np.ndarray,
+        props_lanes: np.ndarray,
+        received: np.ndarray,
+    ) -> bool:
+        """Optional in-place K-lane apply for dense reactivating sweeps.
+
+        Called only when activity is unconditional (``reactivate_all``),
+        so no old state is needed for an equality check: update
+        ``props_lanes`` directly at the slots marked by ``received``
+        (``(K, n)`` bool; other slots MUST keep their state — their
+        ``reduced_lanes`` entries are stale) and return True, or return
+        False (the default) to use :meth:`apply_lanes`.  For a
+        PageRank-shaped program this turns the apply phase from
+        full-block copy + merge into one masked update of the rank
+        column.
+        """
+        return False
+
+    def properties_equal_lanes(
+        self, old: np.ndarray, new: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`properties_equal` over ``(K, n, ...)`` blocks.
+
+        Returns a ``(K, n)`` boolean array; ``False`` marks changed
+        slots (they become active).  Must agree with
+        :meth:`properties_equal_batch` slot for slot — the default exact
+        comparison does.
+        """
+        eq = old == new
+        if eq.ndim > 2:
+            eq = eq.all(axis=tuple(range(2, eq.ndim)))
+        return np.asarray(eq, dtype=bool)
+
     def reduce_segments(
         self,
         sorted_results: np.ndarray,
@@ -206,6 +307,49 @@ class GraphProgram:
             cls.send_message_batch is not GraphProgram.send_message_batch
             and cls.process_message_batch is not GraphProgram.process_message_batch
             and cls.apply_batch is not GraphProgram.apply_batch
+        )
+
+    def batch_reduce_identity(self):
+        """The identity used to mask silent lanes in the batched SpMM.
+
+        The K-lane kernels process the *union* of the lanes' active
+        columns in one sweep; a lane that did not send along a gathered
+        edge contributes this value instead, and the per-lane received
+        masks guarantee identity-only destinations never surface.  The
+        masking is exact when ``process_message`` maps an identity
+        message to an identity result and ``reduce`` absorbs it without
+        perturbing the fold (``min(x, inf) == x``; ``x + 0.0 == x``
+        bitwise for finite IEEE values) — the same contract
+        ``reduce_identity`` already states for the dense-pull kernel.
+
+        Declaring ``reduce_identity`` IS that certification, so only a
+        declared identity qualifies; ``None`` means the program cannot
+        run on the batched path.  (The reduce ufunc's own identity is
+        deliberately NOT used as a fallback: ``np.add.identity == 0``
+        says nothing about the *process* hook — a program computing
+        ``messages + edge_values`` would turn silent-lane zeros into
+        real edge contributions and cross-pollute lanes.)
+        """
+        return self.reduce_identity
+
+    def supports_batched(self) -> bool:
+        """True if this program can run on the K-lane SpMM path.
+
+        Requires the fused batch surface plus: scalar numeric message
+        and result specs (the lane block is a dense 2-D array), a numpy
+        reduce ufunc (per-lane segment reduction is one ``reduceat``
+        over the lane axis), a masking identity, and a numeric property
+        spec (per-lane properties live in one ``(K, n, ...)`` array).
+        """
+        return (
+            self.supports_fused()
+            and self.reduce_ufunc is not None
+            and self.message_spec.is_scalar
+            and self.message_spec.dtype != object
+            and self.result_spec.is_scalar
+            and self.result_spec.dtype != object
+            and self.property_spec.dtype != object
+            and self.batch_reduce_identity() is not None
         )
 
     def validate(self) -> None:
@@ -244,6 +388,10 @@ class SemiringProgram(GraphProgram):
         self.semiring = semiring
         self.direction = direction
         self.reduce_ufunc = semiring.add_ufunc
+        # An absorbing additive identity unlocks the masked dense-pull
+        # kernel and the batched SpMM path (identity message == silence).
+        if semiring.identity_absorbs:
+            self.reduce_identity = semiring.add_identity
 
     def send_message(self, vertex_prop):
         return vertex_prop

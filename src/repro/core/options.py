@@ -34,6 +34,11 @@ parallel backends (:mod:`repro.exec`):
    run — in any process — loads them zero-copy instead of
    re-partitioning the edge list.
 
+8. ``scalar_kernel_max_edges`` / ``dense_pull_crossover`` — the fused
+   kernel selector's density crossovers (:func:`repro.core.spmv.select_kernel`),
+   exposed as options so benchmarks can sweep the thresholds instead of
+   editing module constants.
+
 The paper notes the only user-visible tunables are the thread count and the
 number of matrix partitions; everything else defaults on.
 """
@@ -88,6 +93,16 @@ class EngineOptions:
     #: the partitioning knobs; cache hits mmap the stored blocks with
     #: zero copies (see ``repro.store``).
     snapshot_cache: str | None = None
+    #: Kernel-selection threshold: frontiers whose estimated edge count
+    #: is at or below this run the per-edge scalar kernel (below it,
+    #: numpy's fixed per-call setup cost exceeds the per-edge Python
+    #: dispatch it saves).  See ``repro.core.spmv.select_kernel``.
+    scalar_kernel_max_edges: int = 32
+    #: Kernel-selection threshold: the dense-pull kernel is chosen when
+    #: ``dense_pull_crossover * n_active > block.nzc`` (and the program
+    #: declares a reduce identity) — i.e. by default when the frontier
+    #: covers more than half of a block's non-empty columns.
+    dense_pull_crossover: float = 2.0
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
@@ -116,6 +131,16 @@ class EngineOptions:
         if self.snapshot_cache is not None and not str(self.snapshot_cache):
             raise ProgramError(
                 "snapshot_cache must be a directory path or None, got ''"
+            )
+        if self.scalar_kernel_max_edges < 0:
+            raise ProgramError(
+                f"scalar_kernel_max_edges must be >= 0, "
+                f"got {self.scalar_kernel_max_edges}"
+            )
+        if not self.dense_pull_crossover > 0:
+            raise ProgramError(
+                f"dense_pull_crossover must be > 0, "
+                f"got {self.dense_pull_crossover}"
             )
 
     @property

@@ -44,6 +44,12 @@ class Semiring:
     add_ufunc / multiply_ufunc:
         Vectorized counterparts operating on aligned numpy arrays.  The add
         ufunc must support ``reduceat`` (all numpy binary ufuncs do).
+    identity_absorbs:
+        True when ``multiply(add_identity, e) == add_identity`` for every
+        edge value ``e`` — the contract that lets the masked dense-pull
+        and batched SpMM kernels treat an identity message as silence.
+        ``max-times`` violates it (``-inf * e`` flips sign for negative
+        ``e``), so it opts out and runs only the unmasked kernels.
     """
 
     name: str
@@ -52,6 +58,7 @@ class Semiring:
     add_identity: object
     add_ufunc: np.ufunc
     multiply_ufunc: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    identity_absorbs: bool = True
 
     def reduce_array(self, values: np.ndarray) -> object:
         """Reduce a 1-D array with ``add`` (identity for empty input)."""
@@ -119,6 +126,7 @@ MAX_TIMES = Semiring(
     add_identity=float("-inf"),
     add_ufunc=np.maximum,
     multiply_ufunc=np.multiply,
+    identity_absorbs=False,  # -inf * e flips sign for negative e
 )
 """Max-times: widest-path style computations."""
 

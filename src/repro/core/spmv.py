@@ -42,6 +42,20 @@ may chain several matrix views (ALL_EDGES programs multiply by both
 edge-sized buffers; with scratch the hot path performs its gathers with
 ``np.take(..., out=...)`` and in-place prefix sums instead of allocating
 fresh arrays every superstep.
+
+Batched multi-frontier kernels (SpMM)
+-------------------------------------
+
+:func:`run_block_batch` generalizes the sparse-gather and dense-pull
+kernels from a sparse *vector* to a K-lane *multi-vector* (the
+GraphBLAS SpMM view): one gather of each active column's edge span
+serves K concurrent frontiers, the program's process hook broadcasts
+over a lane-major ``(K, edges)`` message block, and a single ``reduceat`` over the
+lane axis segment-reduces every lane at once.  :func:`spmm_fused` drives
+it serially; the executors in :mod:`repro.exec` schedule it exactly like
+:func:`run_block`.  Silent (edge, lane) slots are masked to the
+program's ``batch_reduce_identity()`` and per-lane received masks keep
+results bitwise identical to K independent sequential runs.
 """
 
 from __future__ import annotations
@@ -66,6 +80,35 @@ KERNEL_NAMES = (KERNEL_SCALAR, KERNEL_SPARSE, KERNEL_DENSE)
 #: per-edge scalar kernel: below it, numpy's fixed per-call setup cost
 #: exceeds the per-edge Python dispatch it saves.
 SCALAR_KERNEL_MAX_EDGES = 32
+
+#: Default dense-pull crossover: pull every edge when the frontier
+#: covers more than ``1 / DENSE_PULL_CROSSOVER`` of a block's non-empty
+#: columns (``crossover * n_active > nzc``).
+DENSE_PULL_CROSSOVER = 2.0
+
+
+@dataclass(frozen=True)
+class KernelThresholds:
+    """The kernel selector's density crossovers, as one value object.
+
+    Built from ``EngineOptions`` by the engine (``scalar_kernel_max_edges``
+    / ``dense_pull_crossover``) and threaded through the executors to
+    every :func:`select_kernel` call, so benchmarks can sweep the
+    crossover points per run instead of patching module constants.
+    """
+
+    scalar_max_edges: int = SCALAR_KERNEL_MAX_EDGES
+    dense_crossover: float = DENSE_PULL_CROSSOVER
+
+    @classmethod
+    def from_options(cls, options) -> "KernelThresholds":
+        return cls(
+            scalar_max_edges=int(options.scalar_kernel_max_edges),
+            dense_crossover=float(options.dense_pull_crossover),
+        )
+
+
+DEFAULT_THRESHOLDS = KernelThresholds()
 
 
 @dataclass
@@ -341,19 +384,27 @@ def _has_scalar_hooks(program: GraphProgram) -> bool:
 
 
 def select_kernel(
-    block, n_active: int, program: GraphProgram, message_spec, result_spec
+    block,
+    n_active: int,
+    program: GraphProgram,
+    message_spec,
+    result_spec,
+    thresholds: KernelThresholds = DEFAULT_THRESHOLDS,
 ) -> str:
     """Pick the fused kernel for one (block, frontier) pair.
 
     Driven by the frontier density relative to the block's non-empty
     columns (``n_active / block.nzc``) and the block's nnz (which fixes
-    the expected edge count of the multiply).
+    the expected edge count of the multiply).  The density crossovers
+    come from ``thresholds`` (``EngineOptions.scalar_kernel_max_edges``
+    / ``dense_pull_crossover``); batched SpMM callers pass the *union*
+    of the lanes' active columns as ``n_active`` (aggregate density).
     """
     if n_active >= block.nzc:
         return KERNEL_DENSE  # full coverage: every stored edge fires
     estimated_edges = (block.nnz * n_active) // max(block.nzc, 1)
     if (
-        estimated_edges <= SCALAR_KERNEL_MAX_EDGES
+        estimated_edges <= thresholds.scalar_max_edges
         and result_spec.is_scalar
         and result_spec.dtype != object
         and message_spec.dtype != object
@@ -364,7 +415,7 @@ def select_kernel(
         program.reduce_identity is not None
         and message_spec.is_scalar
         and message_spec.dtype != object
-        and 2 * n_active > block.nzc
+        and thresholds.dense_crossover * n_active > block.nzc
     ):
         return KERNEL_DENSE  # masked pull over every edge
     return KERNEL_SPARSE
@@ -415,6 +466,7 @@ def run_block(
     program: GraphProgram,
     properties_data: np.ndarray,
     scratch=None,
+    thresholds: KernelThresholds = DEFAULT_THRESHOLDS,
 ) -> BlockResult:
     """Fused generalized SpMV over one DCSC block.
 
@@ -436,7 +488,8 @@ def run_block(
             partition, None, None, 0, 0, "", time.perf_counter() - t0
         )
     kernel = select_kernel(
-        block, n_active, program, program.message_spec, program.result_spec
+        block, n_active, program, program.message_spec, program.result_spec,
+        thresholds,
     )
     full_coverage = n_active == block.nzc
 
@@ -679,6 +732,7 @@ def spmv_fused(
     *,
     scratch=None,
     kernel_counts: dict[str, int] | None = None,
+    thresholds: KernelThresholds = DEFAULT_THRESHOLDS,
 ) -> int:
     """Vectorized generalized SpMV, serially over the partitions.
 
@@ -701,8 +755,433 @@ def spmv_fused(
             program,
             properties_data,
             scratch.get(p) if scratch is not None else None,
+            thresholds,
         )
         total_edges += apply_block_result(
+            result, y, program, counters, partition_work, kernel_counts
+        )
+    return total_edges
+
+
+# ----------------------------------------------------------------------
+# Batched multi-frontier kernels (SpMM): one edge sweep, K lanes
+# ----------------------------------------------------------------------
+#: Byte budget for one SpMM gather/reduce tile.  The kernels stream the
+#: edge space in tiles whose (K, edges) message block fits comfortably
+#: in cache, fusing gather -> process -> segment-reduce per tile: the
+#: wide intermediate never round-trips to DRAM, so the superstep's
+#: traffic is the frontier reads plus the output writes — the
+#: amortization batching promises.  4 MB keeps a float64 K=16 tile at
+#: 32k edges, inside any recent L2/L3.
+BATCH_TILE_BYTES = 4 * 1024 * 1024
+
+
+def _batch_tile_edges(n_lanes: int, itemsize: int) -> int:
+    """Edges per tile for one lane width (clamped to sane bounds)."""
+    return max(4096, BATCH_TILE_BYTES // max(1, n_lanes * itemsize))
+
+
+def _gather_lanes(source: np.ndarray, idx: np.ndarray, buffer: np.ndarray | None):
+    """``source[:, idx]`` through a preallocated *flat* buffer.
+
+    The lane-major analogue of :func:`_gather` (axis-1 take).  The
+    buffer is 1-D of capacity ``K * cap``; the gather writes a fully
+    contiguous ``(K, len(idx))`` view of it, which keeps the downstream
+    ``reduceat`` inner loops on contiguous memory (a ``buffer[:, :m]``
+    slice of a 2-D buffer would leave every lane row strided).  Falls
+    back to fancy indexing when the buffer is missing or too small.
+    """
+    k = source.shape[0]
+    m = idx.shape[0]
+    if (
+        buffer is not None
+        and buffer.dtype == source.dtype
+        and k * m <= buffer.shape[0]
+    ):
+        out = buffer[: k * m].reshape(k, m)
+        # K separate contiguous 1-D takes beat one axis-1 take: numpy's
+        # 1-D fancy-take inner loop is its fastest gather path.
+        for lane in range(k):
+            np.take(source[lane], idx, out=out[lane])
+        return out
+    return source[:, idx]
+
+
+def _tiled_process_reduce(
+    program: GraphProgram,
+    x_values: np.ndarray,
+    sorted_cols: np.ndarray,
+    sorted_vals: np.ndarray,
+    group_starts: np.ndarray,
+    edges: int,
+    scratch,
+    properties_lanes: np.ndarray | None,
+    sorted_dst: np.ndarray | None,
+) -> np.ndarray:
+    """Segment-reduce the K-lane edge space in cache-sized tiles.
+
+    Equivalent to gathering the full ``(K, edges)`` message block,
+    broadcasting the process hook and running one ``reduceat`` — but
+    performed tile by tile, with tile boundaries aligned to destination
+    groups so every group reduces in one piece.  Bitwise identical to
+    the monolithic form (same per-group left fold), cheaper by the full
+    write+read round-trip of the edge-wide intermediate: the tile stays
+    cache-resident, so the superstep's DRAM traffic is the frontier
+    reads plus the output writes.
+    """
+    n_lanes = int(x_values.shape[0])
+    n_groups = int(group_starts.shape[0])
+    out = np.empty((n_lanes, n_groups), dtype=program.result_spec.dtype)
+    tile = _batch_tile_edges(n_lanes, x_values.dtype.itemsize)
+    buffer = scratch.messages if scratch is not None else None
+    g0, lo = 0, 0
+    while lo < edges:
+        if lo + tile >= edges:
+            g1, hi = n_groups, edges
+        else:
+            # Last group starting within the byte budget — the tile ends
+            # *before* the budget so the scratch buffer always fits; a
+            # single hub group larger than the tile advances alone (and
+            # falls back to an allocating gather).
+            g1 = int(
+                np.searchsorted(group_starts, lo + tile, side="right") - 1
+            )
+            g1 = max(g1, g0 + 1)
+            hi = edges if g1 >= n_groups else int(group_starts[g1])
+        messages = _gather_lanes(x_values, sorted_cols[lo:hi], buffer)
+        dst_props = (
+            properties_lanes[:, sorted_dst[lo:hi]]
+            if properties_lanes is not None
+            else None
+        )
+        results = np.asarray(
+            program.process_message_lanes(
+                messages, sorted_vals[lo:hi], dst_props
+            )
+        )
+        # Reduce into a fresh contiguous block, then copy the
+        # (output-sized) result out — reduceat into a strided slice of
+        # ``out`` would put the hot inner loop on strided memory.
+        reduced = program.reduce_ufunc.reduceat(
+            results, group_starts[g0:g1] - lo, axis=1
+        )
+        if g0 == 0 and g1 == n_groups:
+            return reduced  # single tile: no copy needed
+        out[:, g0:g1] = reduced
+        g0, lo = g1, hi
+    return out
+
+
+@dataclass
+class BatchBlockResult:
+    """Output of one K-lane SpMM block kernel (before merging into ``y``).
+
+    ``reduced`` is the ``(K, len(unique_dst))`` per-lane destination
+    reduction; ``received`` marks which lanes actually received a
+    message at each destination (a lane slot without it holds only the
+    masking identity and must not surface — the K-lane analogue of the
+    received-mask rule of the masked dense-pull kernel).  ``received is
+    None`` means every lane of every listed destination received — the
+    fast full-coverage case where merging is one fancy write.
+    """
+
+    partition: int
+    unique_dst: np.ndarray | None
+    reduced: np.ndarray | None
+    received: np.ndarray | None
+    edges: int
+    active_columns: int
+    kernel: str
+    seconds: float
+    events: dict = field(default_factory=dict)
+
+
+def run_block_batch(
+    partition: int,
+    block,
+    x_valid: np.ndarray,
+    x_values: np.ndarray,
+    program: GraphProgram,
+    properties_lanes: np.ndarray,
+    scratch=None,
+    thresholds: KernelThresholds = DEFAULT_THRESHOLDS,
+) -> BatchBlockResult:
+    """K-lane generalized SpMM over one DCSC block.
+
+    ``x_valid``/``x_values`` are the lane-major ``(K, n)`` lane mask and
+    message block of a :class:`repro.vector.multi_frontier.MultiFrontier`;
+    ``properties_lanes`` is the ``(K, n, *property_shape)`` per-lane
+    vertex state.  The kernel gathers each column's edge span **once**
+    for the union of the lanes' active columns, broadcasts the program's
+    process hook across lanes on the lane-major ``(K, edges)`` message block, and
+    segment-reduces every lane in a single ``reduceat`` over the lane
+    axis — so K concurrent queries pay for the edge data movement once.
+
+    Contract: ``x_values`` must hold
+    :meth:`~repro.core.graph_program.GraphProgram.batch_reduce_identity`
+    at every invalid slot (a ``MultiFrontier`` built with
+    ``fill=identity`` maintains this).  Silent lanes then contribute
+    identity messages *by construction* — the kernel performs no masking
+    pass and gathers its messages already in destination order (the
+    cached ``dst_sorted_cols`` index on the dense path), so the steady
+    state is one ``(K, edges)`` gather plus one ``(K, edges)`` reduceat.
+
+    Kernel selection reuses :func:`select_kernel`'s density logic with
+    the aggregate lane density (columns active in *any* lane); the
+    scalar kernel never applies — a per-edge Python loop across K lanes
+    is exactly the dispatch overhead batching exists to amortize, so
+    tiny aggregate frontiers run sparse-gather instead.
+
+    Like :func:`run_block` this is a pure function of its arguments and
+    never touches shared output state, which is what lets every executor
+    in :mod:`repro.exec` schedule it across threads or processes.
+    """
+    t0 = time.perf_counter()
+    n_lanes = int(x_valid.shape[0])
+    if block.nzc == 0:
+        return BatchBlockResult(
+            partition, None, None, None, 0, 0, "", time.perf_counter() - t0
+        )
+    col_lanes = x_valid[:, block.jc]  # (K, nzc): which lanes send per column
+    active_pos = np.flatnonzero(col_lanes.any(axis=0))
+    n_active = int(active_pos.size)
+    if n_active == 0:
+        return BatchBlockResult(
+            partition, None, None, None, 0, 0, "", time.perf_counter() - t0
+        )
+    kernel = select_kernel(
+        block, n_active, program, program.message_spec, program.result_spec,
+        thresholds,
+    )
+    if kernel == KERNEL_SCALAR:
+        kernel = KERNEL_SPARSE
+    identity = program.batch_reduce_identity()
+    full_coverage = n_active == block.nzc
+    # Every active column sends in every lane: received masks are
+    # trivially all-true for destinations fed by active columns.
+    uniform_send = bool(col_lanes[:, active_pos].all())
+
+    if kernel == KERNEL_DENSE:
+        # Pull every stored edge through the cached destination-sorted
+        # column index: messages arrive grouped by destination in ONE
+        # gather (no per-superstep sort, no gather-then-permute).
+        sorted_cols = block.dst_sorted_cols()
+        sorted_vals = block.dst_sorted_vals()
+        _, group_starts, unique_dst = block.dst_groups()
+        edges = block.nnz
+        sorted_order = None  # already destination-ordered
+    else:
+        # Sparse gather: expand only the union-active columns' spans,
+        # then compose index arrays (cheap 1-D int ops) so the wide
+        # per-lane gathers happen once, directly in destination order.
+        span_starts = block.cp[active_pos]
+        lengths = block.cp[active_pos + 1] - span_starts
+        if scratch is not None:
+            take = _expand_spans_into(span_starts, lengths, scratch.take)
+            src_cols = _repeat_into(
+                block.jc[active_pos], lengths, scratch.src_cols
+            )
+            edges = int(take.shape[0])
+            edge_dst = _gather(block.ir, take, scratch.edge_dst)
+        else:
+            take = _expand_spans(span_starts, lengths)
+            edges = int(take.shape[0])
+            edge_dst = block.ir[take]
+            src_cols = np.repeat(block.jc[active_pos], lengths)
+        if edges == 0:
+            return BatchBlockResult(
+                partition, None, None, None, 0, n_active, kernel,
+                time.perf_counter() - t0,
+            )
+        sorted_order = np.argsort(edge_dst, kind="stable")
+        sorted_take = _gather(
+            take, sorted_order, scratch.sorted_idx if scratch else None
+        )
+        # ``take`` is free after this point; reuse its buffer.
+        sorted_cols = _gather(
+            src_cols, sorted_order, scratch.take if scratch else None
+        )
+        sorted_vals = _gather(
+            block.num, sorted_take, scratch.edge_vals if scratch else None
+        )
+        sorted_dst = _gather(
+            edge_dst, sorted_order, scratch.src_cols if scratch else None
+        )
+        boundary = np.empty(edges, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_dst[1:] != sorted_dst[:-1]
+        group_starts = np.flatnonzero(boundary)
+        unique_dst = sorted_dst[group_starts].copy()
+
+    # The wide work, tiled so the (tile, K) message block stays
+    # cache-resident: gather -> process -> segment-reduce per tile.
+    reduced_all = _tiled_process_reduce(
+        program,
+        x_values,
+        sorted_cols,
+        sorted_vals,
+        group_starts,
+        edges,
+        scratch,
+        properties_lanes if program.batch_needs_dst_props else None,
+        (
+            block.ir[block.dst_groups()[0]]
+            if kernel == KERNEL_DENSE
+            else sorted_dst
+        )
+        if program.batch_needs_dst_props
+        else None,
+    )
+
+    # Per-lane received masks (which (lane, dst) slots saw a real
+    # message).  Three regimes, cheapest first: uniform sends make them
+    # trivially all-true; programs certifying that a real message never
+    # reduces to the identity compare output-sized arrays; everything
+    # else gathers the sent mask and OR-reduces it.
+    if uniform_send and kernel != KERNEL_DENSE:
+        received_all = None  # only active columns were expanded
+    elif uniform_send and full_coverage:
+        received_all = None
+    elif program.batch_received_by_value:
+        received_all = reduced_all != identity
+    else:
+        sent = _gather_lanes(
+            x_valid, sorted_cols, scratch.sent if scratch else None
+        )
+        received_all = np.logical_or.reduceat(
+            sent[:, :edges], group_starts, axis=1
+        )
+    if kernel == KERNEL_DENSE and not full_coverage and received_all is not None:
+        keep = received_all.any(axis=0)
+        unique_dst = unique_dst[keep]
+        reduced_all = reduced_all[:, keep]
+        received_all = received_all[:, keep]
+    return BatchBlockResult(
+        partition,
+        unique_dst,
+        reduced_all,
+        received_all,
+        edges,
+        n_active,
+        kernel,
+        time.perf_counter() - t0,
+        events=dict(
+            user_calls=6,
+            element_ops=2 * edges * n_lanes,
+            random_accesses=edges + int(unique_dst.shape[0]) * n_lanes,
+            sequential_bytes=edges * (16 + 8 * n_lanes),
+            messages=n_active,
+            allocations=2 if scratch is not None else 6,
+        ),
+    )
+
+
+def _combine_into_batch(
+    program: GraphProgram,
+    y,
+    unique_dst: np.ndarray,
+    reduced: np.ndarray,
+    received: np.ndarray | None,
+) -> None:
+    """Merge one block's ``(lane, dst)`` reductions into a MultiFrontier.
+
+    ``received is None`` means every lane received at every destination
+    (the full-coverage fast path: one fancy write).  Otherwise lanes
+    without a received message keep their current state.  Within one
+    view every destination row belongs to exactly one block, so the
+    clash branch only fires for programs chaining several views
+    (ALL_EDGES) — then overlapping slots fold through ``reduce_ufunc``.
+    """
+    if unique_dst.size == 0:
+        return
+    prior = y.valid_mask()[:, unique_dst]
+    if received is None:
+        if not prior.any():
+            y.scatter_rows(unique_dst, reduced)
+            return
+        received = np.ones_like(prior)
+    existing = prior & received
+    if existing.any():
+        lanes, cols = np.nonzero(existing)
+        idx = unique_dst[cols]
+        y.values[lanes, idx] = program.reduce_ufunc(
+            y.values[lanes, idx], reduced[lanes, cols]
+        )
+        fresh = received & ~existing
+    else:
+        fresh = received
+    y.scatter_block(unique_dst, reduced, fresh)
+
+
+def apply_block_result_batch(
+    result: BatchBlockResult,
+    y,
+    program: GraphProgram,
+    counters=None,
+    partition_work: list[PartitionWork] | None = None,
+    kernel_counts: dict[str, int] | None = None,
+) -> int:
+    """Merge one SpMM block's reduction into ``y``; record bookkeeping.
+
+    Returns the block's edge count (one shared sweep, however many lanes
+    it served).  Blocks own disjoint row ranges, so merges commute.
+    """
+    if result.unique_dst is not None and result.unique_dst.size:
+        _combine_into_batch(
+            program, y, result.unique_dst, result.reduced, result.received
+        )
+    if counters is not None and result.events:
+        counters.record(**result.events)
+    if partition_work is not None:
+        partition_work.append(
+            PartitionWork(
+                result.partition,
+                result.edges,
+                result.active_columns,
+                result.seconds,
+                result.kernel,
+            )
+        )
+    if kernel_counts is not None and result.kernel:
+        kernel_counts[result.kernel] = kernel_counts.get(result.kernel, 0) + 1
+    return result.edges
+
+
+def spmm_fused(
+    blocks: PartitionedMatrix,
+    x,
+    y,
+    program: GraphProgram,
+    properties_lanes: np.ndarray,
+    counters=None,
+    partition_work: list[PartitionWork] | None = None,
+    *,
+    scratch=None,
+    kernel_counts: dict[str, int] | None = None,
+    thresholds: KernelThresholds = DEFAULT_THRESHOLDS,
+) -> int:
+    """K-lane generalized SpMM, serially over the partitions.
+
+    ``x``/``y`` are :class:`~repro.vector.multi_frontier.MultiFrontier`
+    instances; ``scratch`` optionally maps partition index to a
+    ``BatchBlockScratch``.  Returns the number of edges swept (each
+    counted once regardless of how many lanes it served).
+    """
+    x_valid = x.valid_mask()
+    x_values = x.values
+    total_edges = 0
+    for p, block in enumerate(blocks):
+        result = run_block_batch(
+            p,
+            block,
+            x_valid,
+            x_values,
+            program,
+            properties_lanes,
+            scratch.get(p) if scratch is not None else None,
+            thresholds,
+        )
+        total_edges += apply_block_result_batch(
             result, y, program, counters, partition_work, kernel_counts
         )
     return total_edges

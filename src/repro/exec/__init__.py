@@ -24,10 +24,15 @@ from __future__ import annotations
 
 from repro.core.options import KNOWN_BACKENDS
 from repro.errors import ProgramError
-from repro.exec.base import Executor, SerialExecutor, finish_view
+from repro.exec.base import Executor, SerialExecutor, finish_view, finish_view_batch
 from repro.exec.process import ProcessExecutor
 from repro.exec.threaded import ThreadedExecutor
-from repro.exec.workspace import BlockScratch, SuperstepWorkspace
+from repro.exec.workspace import (
+    BatchBlockScratch,
+    BatchWorkspace,
+    BlockScratch,
+    SuperstepWorkspace,
+)
 
 #: Backend name -> executor class.  Must stay in sync with
 #: ``repro.core.options.KNOWN_BACKENDS`` (options validates names early,
@@ -62,6 +67,8 @@ def create_executor(options) -> Executor:
 
 __all__ = [
     "BACKENDS",
+    "BatchBlockScratch",
+    "BatchWorkspace",
     "BlockScratch",
     "Executor",
     "ProcessExecutor",
@@ -71,4 +78,5 @@ __all__ = [
     "available_backends",
     "create_executor",
     "finish_view",
+    "finish_view_batch",
 ]

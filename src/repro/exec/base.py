@@ -22,7 +22,15 @@ disjoint, and within a block the accumulation order is fixed.
 
 from __future__ import annotations
 
-from repro.core.spmv import BlockResult, apply_block_result, spmv_fused
+from repro.core.spmv import (
+    DEFAULT_THRESHOLDS,
+    BatchBlockResult,
+    BlockResult,
+    apply_block_result,
+    apply_block_result_batch,
+    spmm_fused,
+    spmv_fused,
+)
 
 
 class Executor:
@@ -51,10 +59,37 @@ class Executor:
         partition_work=None,
         kernel_counts=None,
         scratch=None,
+        thresholds=DEFAULT_THRESHOLDS,
     ) -> int:
         """Run one generalized SpMV over ``view``, merging into ``y``.
 
         Returns the number of edges processed.
+        """
+        raise NotImplementedError
+
+    def spmm(
+        self,
+        view_index: int,
+        view,
+        x,
+        y,
+        program,
+        properties_lanes,
+        counters=None,
+        partition_work=None,
+        kernel_counts=None,
+        scratch=None,
+        thresholds=DEFAULT_THRESHOLDS,
+    ) -> int:
+        """Run one K-lane generalized SpMM over ``view``, merging into ``y``.
+
+        ``x``/``y`` are :class:`~repro.vector.multi_frontier.MultiFrontier`
+        blocks and ``properties_lanes`` the ``(K, n, ...)`` per-lane
+        vertex state.  Returns the number of edges swept (each edge
+        counted once however many lanes it served).  The same disjoint
+        row-range guarantee that makes per-block SpMV lock-free makes the
+        K-lane accumulation lock-free too — lanes only widen each block's
+        private result.
         """
         raise NotImplementedError
 
@@ -90,6 +125,24 @@ def finish_view(
     return edges
 
 
+def finish_view_batch(
+    results: list[BatchBlockResult],
+    y,
+    program,
+    counters=None,
+    partition_work=None,
+    kernel_counts=None,
+) -> int:
+    """Merge collected SpMM block results into ``y`` in partition order."""
+    results = sorted(results, key=lambda r: r.partition)
+    edges = 0
+    for result in results:
+        edges += apply_block_result_batch(
+            result, y, program, counters, partition_work, kernel_counts
+        )
+    return edges
+
+
 class SerialExecutor(Executor):
     """Run every block in the calling thread, in partition order."""
 
@@ -110,6 +163,7 @@ class SerialExecutor(Executor):
         partition_work=None,
         kernel_counts=None,
         scratch=None,
+        thresholds=DEFAULT_THRESHOLDS,
     ) -> int:
         return spmv_fused(
             view,
@@ -121,4 +175,32 @@ class SerialExecutor(Executor):
             partition_work,
             scratch=scratch,
             kernel_counts=kernel_counts,
+            thresholds=thresholds,
+        )
+
+    def spmm(
+        self,
+        view_index: int,
+        view,
+        x,
+        y,
+        program,
+        properties_lanes,
+        counters=None,
+        partition_work=None,
+        kernel_counts=None,
+        scratch=None,
+        thresholds=DEFAULT_THRESHOLDS,
+    ) -> int:
+        return spmm_fused(
+            view,
+            x,
+            y,
+            program,
+            properties_lanes,
+            counters,
+            partition_work,
+            scratch=scratch,
+            kernel_counts=kernel_counts,
+            thresholds=thresholds,
         )

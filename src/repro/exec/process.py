@@ -50,8 +50,8 @@ import pickle
 
 import numpy as np
 
-from repro.core.spmv import run_block
-from repro.exec.base import Executor, finish_view
+from repro.core.spmv import DEFAULT_THRESHOLDS, run_block, run_block_batch
+from repro.exec.base import Executor, finish_view, finish_view_batch
 
 # ----------------------------------------------------------------------
 # Worker-side state (one copy per worker process).
@@ -95,7 +95,7 @@ def _run_chunk(task):
     """Run one chunk of block kernels against the mapped superstep state."""
     from repro.exec.workspace import BlockScratch
 
-    view_index, block_ids, spec = task
+    view_index, block_ids, spec, thresholds = task
     x_mask = _attach(spec["x_valid"])
     x_values = _attach(spec["x_values"])
     properties_data = _attach(spec["props"])
@@ -127,6 +127,49 @@ def _run_chunk(task):
                 program,
                 properties_data,
                 scratch if block.nnz else None,
+                thresholds,
+            )
+        )
+    return results
+
+
+def _run_chunk_batch(task):
+    """Run one chunk of K-lane SpMM block kernels (batched engine)."""
+    from repro.exec.workspace import BatchBlockScratch
+
+    view_index, block_ids, spec, thresholds = task
+    x_valid = _attach(spec["bx_valid"])
+    x_values = _attach(spec["bx_values"])
+    properties_lanes = _attach(spec["bprops"])
+    n_lanes = int(x_valid.shape[0])  # lane-major (K, n)
+    view = _WORKER["views"][view_index]
+    program = _WORKER["program"]
+    scratch_cache = _WORKER["scratch"]
+    # Same max-capacity sharing as the SpMV path, keyed separately per
+    # lane count so consecutive batched runs with different K coexist.
+    key = ("batch", view_index, n_lanes)
+    scratch = scratch_cache.get(key)
+    if scratch is None and view.blocks:
+        biggest = max(view.blocks, key=lambda b: b.nnz)
+        if biggest.nnz:
+            scratch = scratch_cache[key] = BatchBlockScratch(
+                biggest, program, n_lanes, capacity=biggest.nnz
+            )
+    results = []
+    for p in block_ids:
+        block = view.blocks[p]
+        if block.nnz:
+            block.warm_batch_caches()
+        results.append(
+            run_block_batch(
+                p,
+                block,
+                x_valid,
+                x_values,
+                program,
+                properties_lanes,
+                scratch if block.nnz else None,
+                thresholds,
             )
         )
     return results
@@ -232,6 +275,7 @@ class ProcessExecutor(Executor):
         partition_work=None,
         kernel_counts=None,
         scratch=None,
+        thresholds=DEFAULT_THRESHOLDS,
     ) -> int:
         if self._pool is None:
             raise RuntimeError("ProcessExecutor.prepare() was not called")
@@ -239,7 +283,7 @@ class ProcessExecutor(Executor):
         # segments, no pickling.  The frontier and properties are fixed
         # for the whole superstep, so ALL_EDGES programs (two views per
         # superstep) only pay the copy once — on the first view.
-        if view_index == 0 or not self._segments:
+        if view_index == 0 or "x_valid" not in self._segments:
             x_valid = self._ensure_segment(
                 "x_valid", x.valid_mask().shape, np.bool_
             )
@@ -255,11 +299,55 @@ class ProcessExecutor(Executor):
             role: seg[2] for role, seg in self._segments.items()
         }
         chunks = self._chunks[view_index]
-        tasks = [(view_index, chunk, spec) for chunk in chunks]
+        tasks = [(view_index, chunk, spec, thresholds) for chunk in chunks]
         results = []
         for part in self._pool.map(_run_chunk, tasks, chunksize=1):
             results.extend(part)
         return finish_view(
+            results, y, program, counters, partition_work, kernel_counts
+        )
+
+    def spmm(
+        self,
+        view_index: int,
+        view,
+        x,
+        y,
+        program,
+        properties_lanes,
+        counters=None,
+        partition_work=None,
+        kernel_counts=None,
+        scratch=None,
+        thresholds=DEFAULT_THRESHOLDS,
+    ) -> int:
+        if self._pool is None:
+            raise RuntimeError("ProcessExecutor.prepare() was not called")
+        # Broadcast the K-lane superstep state through its own segment
+        # roles (``b*``) so a batched run can interleave with sequential
+        # runs on the same pool without thrashing segment shapes.
+        properties_lanes = np.ascontiguousarray(properties_lanes)
+        if view_index == 0 or "bx_valid" not in self._segments:
+            x_valid = self._ensure_segment(
+                "bx_valid", x.valid_mask().shape, np.bool_
+            )
+            x_values = self._ensure_segment(
+                "bx_values", x.values.shape, x.values.dtype
+            )
+            props = self._ensure_segment(
+                "bprops", properties_lanes.shape, properties_lanes.dtype
+            )
+            x.copy_into(x_valid, x_values)
+            np.copyto(props, properties_lanes)
+        spec = {
+            role: seg[2] for role, seg in self._segments.items()
+        }
+        chunks = self._chunks[view_index]
+        tasks = [(view_index, chunk, spec, thresholds) for chunk in chunks]
+        results = []
+        for part in self._pool.map(_run_chunk_batch, tasks, chunksize=1):
+            results.extend(part)
+        return finish_view_batch(
             results, y, program, counters, partition_work, kernel_counts
         )
 

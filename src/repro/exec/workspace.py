@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.vector.multi_frontier import MultiFrontier
 from repro.vector.sparse_vector import SparseVector, make_sparse_vector
 
 
@@ -98,6 +99,86 @@ def _spec_buffer(n: int, spec) -> np.ndarray | None:
     if spec.dtype == object:
         return None
     return np.empty((n, *spec.shape), dtype=spec.dtype)
+
+
+class BatchBlockScratch:
+    """Preallocated ``(K, edges)`` buffers for one block's SpMM kernel.
+
+    The K-lane analogue of :class:`BlockScratch`: the span-expansion and
+    index-composition buffers stay 1-D (the kernel sorts *indices*, not
+    lane blocks), while the message / sent buffers grow a lane axis so
+    the batched kernels gather their ``(K, edges)`` blocks with
+    ``np.take(..., out=...)``.  Only built for numeric specs —
+    :class:`~repro.vector.multi_frontier.MultiFrontier` already rejects
+    object lanes.
+    """
+
+    __slots__ = (
+        "take",
+        "src_cols",
+        "edge_dst",
+        "sorted_idx",
+        "edge_vals",
+        "messages",
+        "_sent",
+        "_capacity",
+        "_n_lanes",
+    )
+
+    def __init__(
+        self, block, program, n_lanes: int, capacity: int | None = None
+    ) -> None:
+        from repro.core.spmv import _batch_tile_edges
+
+        n = int(capacity) if capacity is not None else block.nnz
+        k = int(n_lanes)
+        self.take = np.empty(n, dtype=np.int64)
+        self.src_cols = np.empty(n, dtype=np.int64)
+        self.edge_dst = np.empty(n, dtype=np.int64)
+        self.sorted_idx = np.empty(n, dtype=np.int64)
+        self.edge_vals = (
+            np.empty(n, dtype=block.num.dtype)
+            if block.num.dtype != object
+            else None
+        )
+        # Lane-major flat buffers (``_gather_lanes`` carves contiguous
+        # (K, m) views out of them): the tiled kernels only ever
+        # materialize one cache-sized message block at a time.
+        tile = min(n, _batch_tile_edges(k, program.message_spec.dtype.itemsize))
+        self.messages = np.empty(k * tile, dtype=program.message_spec.dtype)
+        self._sent = None
+        self._capacity = n
+        self._n_lanes = k
+
+    @property
+    def sent(self) -> np.ndarray:
+        """Flat K*capacity sent-mask buffer, allocated on first use.
+
+        Only the generic received-mask regime gathers sent masks;
+        by-value programs (BFS/SSSP) and uniform sweeps (PPR) never
+        touch it, so eager allocation would pin K*nnz never-read bytes
+        per block.
+        """
+        if self._sent is None:
+            self._sent = np.empty(self._capacity * self._n_lanes, dtype=bool)
+        return self._sent
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes held by this scratch's buffers."""
+        return sum(
+            buffer.nbytes
+            for buffer in (
+                self.take,
+                self.src_cols,
+                self.edge_dst,
+                self.sorted_idx,
+                self.edge_vals,
+                self.messages,
+                self._sent,
+            )
+            if buffer is not None
+        )
 
 
 class SuperstepWorkspace:
@@ -181,5 +262,61 @@ class SuperstepWorkspace:
 
     def reset(self) -> None:
         """Invalidate both vectors in place (no allocation)."""
+        self.x.clear()
+        self.y.clear()
+
+
+class BatchWorkspace:
+    """Reusable K-lane engine state for one batched run shape.
+
+    The batched analogue of :class:`SuperstepWorkspace`: the ``x``
+    (message) and ``y`` (result) :class:`MultiFrontier` blocks plus one
+    :class:`BatchBlockScratch` per non-empty block, allocated once and
+    reset in place every superstep.  The per-lane property block is the
+    *driver's* state (it outlives the run as the result), so it is not
+    held here.
+    """
+
+    def __init__(
+        self, n_vertices: int, n_lanes: int, program, views, *, fused: bool
+    ) -> None:
+        self.n_vertices = int(n_vertices)
+        self.n_lanes = int(n_lanes)
+        self.message_spec = program.message_spec
+        self.result_spec = program.result_spec
+        self.views = list(views)
+        # The message frontier carries the program's reduce identity at
+        # invalid slots (the SpMM kernels' no-masking contract).
+        self.x = MultiFrontier(
+            self.n_vertices, self.n_lanes, program.message_spec,
+            fill=program.batch_reduce_identity(),
+        )
+        self.y = MultiFrontier(self.n_vertices, self.n_lanes, program.result_spec)
+        self._scratch: dict[int, dict[int, BatchBlockScratch]] = {}
+        self.scratch_built = bool(fused)
+        if fused:
+            for vi, view in enumerate(views):
+                per_view: dict[int, BatchBlockScratch] = {}
+                for p, block in enumerate(view):
+                    if block.nnz == 0:
+                        continue
+                    block.warm_batch_caches()
+                    per_view[p] = BatchBlockScratch(block, program, self.n_lanes)
+                self._scratch[vi] = per_view
+
+    def view_scratch(self, view_index: int) -> dict[int, BatchBlockScratch] | None:
+        """Per-partition scratch for one matrix view (None when unbuilt)."""
+        return self._scratch.get(view_index)
+
+    def scratch_nbytes(self) -> int:
+        """Total resident bytes of every per-block scratch buffer."""
+        return sum(
+            scratch.nbytes
+            for per_view in self._scratch.values()
+            for scratch in per_view.values()
+        )
+
+    def reset(self) -> None:
+        """Invalidate both multi-frontiers in place (no allocation)."""
         self.x.clear()
         self.y.clear()

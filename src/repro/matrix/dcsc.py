@@ -53,6 +53,8 @@ class DCSCMatrix:
         self.row_range = (int(row_range[0]), int(row_range[1]))
         self._dst_groups: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._col_expanded: np.ndarray | None = None
+        self._dst_sorted_cols: np.ndarray | None = None
+        self._dst_sorted_vals: np.ndarray | None = None
         #: Set by ``repro.store`` on snapshot-backed blocks:
         #: ``(snapshot_path, view_index, block_index)``.  Lets pickling
         #: ship a file reference instead of the arrays (see __getstate__).
@@ -205,6 +207,28 @@ class DCSCMatrix:
             self._dst_groups = (order, starts, unique_rows)
         return self._dst_groups
 
+    def dst_sorted_cols(self) -> np.ndarray:
+        """Cached per-edge source column in destination-row order.
+
+        ``col_expanded()[order]`` for the :meth:`dst_groups` permutation:
+        gathering frontier values through this index yields messages
+        *already grouped by destination*, collapsing the dense kernels'
+        gather-then-sort into one gather.  The batched SpMM kernels lean
+        on it — with K lanes the fused gather saves a ``(K, edges)``
+        intermediate per block per superstep.
+        """
+        if self._dst_sorted_cols is None:
+            order, _, _ = self.dst_groups()
+            self._dst_sorted_cols = self.col_expanded()[order]
+        return self._dst_sorted_cols
+
+    def dst_sorted_vals(self) -> np.ndarray:
+        """Cached edge values in destination-row order (``num[order]``)."""
+        if self._dst_sorted_vals is None:
+            order, _, _ = self.dst_groups()
+            self._dst_sorted_vals = self.num[order]
+        return self._dst_sorted_vals
+
     def warm_caches(self) -> None:
         """Materialize the lazy per-block caches up front.
 
@@ -216,6 +240,18 @@ class DCSCMatrix:
         """
         self.col_expanded()
         self.dst_groups()
+
+    def warm_batch_caches(self) -> None:
+        """Materialize the caches the batched SpMM kernels read.
+
+        Superset of :meth:`warm_caches`: the dense SpMM path gathers
+        through the destination-sorted column/value arrays, so batched
+        workspaces (parent-side) and process-pool workers (worker-side)
+        both call this up front — no superstep pays cache construction.
+        """
+        self.warm_caches()
+        self.dst_sorted_cols()
+        self.dst_sorted_vals()
 
     def install_caches(
         self,
@@ -255,6 +291,8 @@ class DCSCMatrix:
         state = self.__dict__.copy()
         state["_dst_groups"] = None
         state["_col_expanded"] = None
+        state["_dst_sorted_cols"] = None
+        state["_dst_sorted_vals"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -266,6 +304,8 @@ class DCSCMatrix:
             return
         self.__dict__.update(state)
         self.__dict__.setdefault("_snapshot_ref", None)
+        self.__dict__.setdefault("_dst_sorted_cols", None)
+        self.__dict__.setdefault("_dst_sorted_vals", None)
 
     def restrict_columns(self, wanted_mask: np.ndarray) -> "DCSCMatrix":
         """Drop the non-empty columns where ``wanted_mask[j]`` is False.

@@ -2,6 +2,7 @@
 
 from repro.vector.bitvector import Bitvector
 from repro.vector.dense import PropertyArray
+from repro.vector.multi_frontier import MultiFrontier
 from repro.vector.sparse_vector import (
     FLOAT64,
     INT64,
@@ -18,6 +19,7 @@ __all__ = [
     "PropertyArray",
     "SparseVector",
     "BitvectorVector",
+    "MultiFrontier",
     "SortedTuplesVector",
     "ValueSpec",
     "make_sparse_vector",

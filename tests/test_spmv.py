@@ -282,6 +282,148 @@ class TestDenseFrontierIdentityHazard:
         )
 
 
+class TestSelectKernelBoundaries:
+    """Satellite: the selector's edge cases, exercised directly."""
+
+    def _block(self, n=64, cols=3, edges_per_col=20):
+        # 60 edges over 3 columns: a 2-of-3 frontier estimates 40 edges,
+        # above the default scalar budget (32), so the scalar-vs-dense
+        # boundaries are both reachable.
+        src = np.repeat(np.arange(cols, dtype=np.int64), edges_per_col)
+        dst = np.arange(cols * edges_per_col, dtype=np.int64) % n
+        coo = COOMatrix((n, n), dst, src, np.ones(src.shape[0]))
+        return PartitionedMatrix.from_coo(coo, 1).blocks[0]
+
+    def test_empty_frontier_prefers_scalar_when_hooks_exist(self):
+        from repro.core.spmv import select_kernel
+
+        block = self._block()
+        program = SemiringProgram(PLUS_TIMES)
+        spec = program.message_spec
+        # n_active == 0 estimates zero edges: scalar kernel territory
+        # (run_block never calls the selector for an empty frontier, but
+        # the selector itself must stay total).
+        kernel = select_kernel(block, 0, program, spec, program.result_spec)
+        assert kernel == "scalar"
+
+    def test_exact_full_coverage_is_dense(self):
+        from repro.core.spmv import select_kernel
+
+        block = self._block()
+        program = SemiringProgram(PLUS_TIMES)
+        kernel = select_kernel(
+            block, block.nzc, program, program.message_spec,
+            program.result_spec,
+        )
+        assert kernel == "dense-pull"
+
+    def test_object_specs_never_scalar_or_dense(self):
+        from repro.core.spmv import select_kernel
+        from repro.vector.sparse_vector import OBJECT
+
+        block = self._block()
+
+        class ObjectProgram(SemiringProgram):
+            message_spec = OBJECT
+            result_spec = OBJECT
+
+            def __init__(self):
+                super().__init__(PLUS_TIMES)
+
+        program = ObjectProgram()
+        # Tiny frontier would be scalar for numeric specs; object specs
+        # must take sparse-gather (no scalar fast path, no masked pull).
+        kernel = select_kernel(block, 1, program, OBJECT, OBJECT)
+        assert kernel == "sparse-gather"
+
+    def test_batch_only_program_never_scalar(self):
+        from repro.core.graph_program import GraphProgram
+        from repro.core.spmv import select_kernel
+        from repro.vector.sparse_vector import FLOAT64
+
+        class BatchOnly(GraphProgram):
+            message_spec = result_spec = property_spec = FLOAT64
+            reduce_ufunc = np.add
+
+            def send_message_batch(self, props, vertices):
+                return props
+
+            def process_message_batch(self, messages, edge_values, dst_props):
+                return messages
+
+            def apply_batch(self, reduced, props):
+                return reduced
+
+        block = self._block()
+        program = BatchOnly()
+        kernel = select_kernel(block, 1, program, FLOAT64, FLOAT64)
+        assert kernel == "sparse-gather"
+
+    def test_thresholds_from_options_change_selection(self):
+        from repro.core.spmv import KernelThresholds, select_kernel
+
+        block = self._block()
+        program = SemiringProgram(MIN_PLUS)  # has a reduce identity
+        spec = program.message_spec
+        # Default crossover (2.0): 2 of 3 columns -> dense-pull.
+        assert (
+            select_kernel(block, 2, program, spec, spec) == "dense-pull"
+        )
+        # Crossover 1.0 demands full coverage: 2 of 3 stays sparse.
+        tight = KernelThresholds(scalar_max_edges=0, dense_crossover=1.0)
+        assert (
+            select_kernel(block, 2, program, spec, spec, tight)
+            == "sparse-gather"
+        )
+        # A huge scalar budget routes everything with scalar hooks there.
+        lavish = KernelThresholds(scalar_max_edges=10_000)
+        assert (
+            select_kernel(block, 2, program, spec, spec, lavish) == "scalar"
+        )
+
+    def test_options_expose_thresholds(self):
+        from repro.core.spmv import KernelThresholds
+
+        options = EngineOptions(
+            scalar_kernel_max_edges=7, dense_pull_crossover=3.5
+        )
+        thresholds = KernelThresholds.from_options(options)
+        assert thresholds.scalar_max_edges == 7
+        assert thresholds.dense_crossover == 3.5
+        with pytest.raises(Exception):
+            EngineOptions(scalar_kernel_max_edges=-1)
+        with pytest.raises(Exception):
+            EngineOptions(dense_pull_crossover=0.0)
+
+    def test_custom_thresholds_drive_engine_runs(self):
+        """An engine run with a zero scalar budget must never pick the
+        scalar kernel, and results must be unchanged."""
+        from repro.algorithms.bfs import run_bfs
+        from repro.graph.generators.rmat import rmat_graph
+        from repro.graph.preprocess import symmetrize
+
+        graph = symmetrize(rmat_graph(scale=7, edge_factor=8, seed=2))
+        ref = run_bfs(graph, 0)
+        no_scalar = run_bfs(
+            graph, 0, options=EngineOptions(scalar_kernel_max_edges=0)
+        )
+        assert np.array_equal(ref.distances, no_scalar.distances)
+        assert "scalar" not in no_scalar.stats.kernel_totals()
+        assert "scalar" in ref.stats.kernel_totals()
+
+    def test_frontier_density_recorded(self):
+        from repro.algorithms.bfs import run_bfs
+        from repro.graph.generators.rmat import rmat_graph
+        from repro.graph.preprocess import symmetrize
+
+        graph = symmetrize(rmat_graph(scale=7, edge_factor=8, seed=2))
+        stats = run_bfs(graph, 0).stats
+        densities = [it.frontier_density for it in stats.iterations]
+        assert densities[0] == 1.0 / graph.n_vertices
+        assert max(densities) > densities[0]
+        assert all(0.0 <= d <= 1.0 for d in densities)
+
+
 class TestScalarProbeCounters:
     """Regression: membership probes are charged only when performed."""
 
