@@ -1,0 +1,92 @@
+"""Serving comparison: micro-batched concurrent queries vs no batching.
+
+Emits ``BENCH_serve.json`` (repo root by default) recording throughput,
+p50/p99 latency, achieved mean batch size and cache hit rate for a
+closed-loop mixed BFS/SSSP/personalized-PageRank load against the
+``repro.serve`` query service, in three configurations: no batching
+(``max_batch_k=1`` per request), micro-batched, and micro-batched with
+the result cache on a repeat-heavy workload.  Every response of the
+timed unbatched and batched phases is verified bitwise against a
+sequential reference run.  The full-scale record (scale 16) carries the
+PR's acceptance claim: batched >= 3x unbatched throughput.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--scale 16] [--out PATH]
+
+or as a pytest smoke test (small scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.serve import bench_serve, summarize, write_serve_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=16,
+                        help="R-MAT scale (2**scale vertices)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--lanes", type=int, default=16,
+                        help="max queries per engine run (K)")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="personalized PageRank supersteps")
+    parser.add_argument("--per-kind", type=int, default=32,
+                        help="distinct queries per kind in the timed stream")
+    parser.add_argument("--clients", type=int, default=48,
+                        help="closed-loop client threads")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="scheduler dispatch window")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    record = bench_serve(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        n_lanes=args.lanes,
+        pr_iterations=args.iterations,
+        per_kind=args.per_kind,
+        n_clients=args.clients,
+        max_wait_ms=args.max_wait_ms,
+    )
+    path = write_serve_record(record, args.out)
+    print(summarize(record))
+    print(f"\nwrote {path}")
+    return 0
+
+
+def test_serve_bench_smoke(tmp_path):
+    """Small-scale smoke run: the record must be complete, every timed
+    response parity-checked against its sequential reference, batching
+    must not lose to no-batching even at toy sizes, and the repeat-heavy
+    cached phase must actually hit the cache (the machine-independent
+    invariants; the 3x acceptance bar applies to the scale-16 record)."""
+    record = bench_serve(
+        scale=10, edge_factor=8, n_lanes=8, pr_iterations=5,
+        per_kind=8, n_clients=16, cache_repeats=4,
+    )
+    out = write_serve_record(record, tmp_path / "BENCH_serve.json")
+    assert out.exists()
+    for phase in ("unbatched", "unbatched_service", "batched"):
+        cell = record[phase]
+        assert cell["parity_checked"] == cell["requests"]
+        assert cell["cached_responses"] == 0
+    assert record["unbatched"]["mean_batch_k"] == 1.0
+    assert record["unbatched_service"]["mean_batch_k"] == 1.0
+    assert record["batched"]["mean_batch_k"] > 1.0
+    assert record["speedup"]["batched_vs_unbatched"] > 1.0
+    assert record["cached"]["hit_rate"] > 0.25
+    assert not record["acceptance"]["at_acceptance_scale"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

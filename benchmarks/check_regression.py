@@ -63,6 +63,8 @@ CONFIG_KEYS = (
     "n_partitions",
     "n_lanes",
     "strategy",
+    "per_kind",
+    "n_clients",
 )
 #: Calibration ratios are clamped here: beyond this the hosts are too
 #: different for time scaling to mean anything, and a corrupt probe
@@ -79,6 +81,14 @@ RATIO_FLOORS = {
     "allocations.reduction_factor": 1.0,
     "speedup.bfs_batch_vs_sequential": 1.5,
     "speedup.ppr_batch_vs_sequential": 1.5,
+    # Serving gate: micro-batching must clearly beat the K=1-per-request
+    # baseline even on small CI smoke runs (the 3x acceptance bar is
+    # asserted by the committed full-scale BENCH_serve.json), the
+    # scheduler must actually form multi-lane batches under concurrent
+    # load, and the repeat-heavy workload must hit the result cache.
+    "speedup.batched_vs_unbatched": 1.5,
+    "batched.mean_batch_k": 2.0,
+    "cached.hit_rate": 0.25,
 }
 
 
@@ -145,6 +155,22 @@ def extract_metrics(record: dict) -> dict[str, tuple[float, str]]:
                     float(amortization),
                     "ratio",
                 )
+    elif benchmark == "bench_serve":
+        for phase in ("unbatched", "unbatched_service", "batched", "cached"):
+            value = _dig(record, f"{phase}.seconds")
+            if value is not None:
+                metrics[f"{phase}.seconds"] = (float(value), "time")
+        # Throughput-derived ratios of short concurrent smoke runs are
+        # floor-only, like the batch speedups (see the module docstring);
+        # the phase wall-times above get the baseline-relative treatment.
+        for name in (
+            "speedup.batched_vs_unbatched",
+            "batched.mean_batch_k",
+            "cached.hit_rate",
+        ):
+            value = _dig(record, name)
+            if value is not None:
+                metrics[name] = (float(value), "floor")
     else:
         raise ValueError(f"unknown benchmark kind {benchmark!r}")
     return metrics

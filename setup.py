@@ -21,6 +21,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-convert=repro.store.cli:main",
+            "repro-serve=repro.serve.cli:main",
         ],
     },
 )

@@ -1,5 +1,10 @@
 """The paper's five algorithms (plus extensions) as GraphMat programs."""
 
+from repro.algorithms.adapters import (
+    QUERY_ADAPTERS,
+    QueryAdapter,
+    get_adapter,
+)
 from repro.algorithms.batched import (
     MultiSourceResult,
     bfs_multi_source,
@@ -43,6 +48,9 @@ from repro.algorithms.triangle_count import (
 )
 
 __all__ = [
+    "QUERY_ADAPTERS",
+    "QueryAdapter",
+    "get_adapter",
     "PageRankProgram",
     "PageRankResult",
     "PersonalizedPageRankProgram",

@@ -95,6 +95,25 @@ class IterationStats:
     #: can explain kernel flips across supersteps.
     frontier_density: float = 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready record (the ``/stats`` endpoint, load generators).
+
+        Counters are cast to builtin int/float: kernel code accumulates
+        numpy scalars, which ``json.dumps`` rejects.
+        """
+        return {
+            "iteration": int(self.iteration),
+            "active_before": int(self.active_before),
+            "messages_sent": int(self.messages_sent),
+            "edges_processed": int(self.edges_processed),
+            "vertices_updated": int(self.vertices_updated),
+            "activated": int(self.activated),
+            "seconds": float(self.seconds),
+            "kernel_counts": {k: int(v) for k, v in self.kernel_counts.items()},
+            "frontier_density": float(self.frontier_density),
+            "partition_work": [w.to_dict() for w in self.partition_work],
+        }
+
 
 def _kernel_totals(iterations: list[IterationStats]) -> dict[str, int]:
     """Per-kernel block counts summed over a run's supersteps."""
@@ -138,6 +157,27 @@ class RunStats:
     def kernel_totals(self) -> dict[str, int]:
         """Fused kernel selections summed over all supersteps."""
         return _kernel_totals(self.iterations)
+
+    def to_dict(self, *, include_iterations: bool = True) -> dict:
+        """JSON-ready record; derived totals are materialized so
+        consumers (the ``/stats`` endpoint, load generators) never poke
+        at dataclass internals."""
+        doc = {
+            "backend": self.backend,
+            "converged": bool(self.converged),
+            "used_fused_path": bool(self.used_fused_path),
+            "total_seconds": float(self.total_seconds),
+            "n_supersteps": self.n_supersteps,
+            "total_edges_processed": int(self.total_edges_processed),
+            "total_messages": int(self.total_messages),
+            "seconds_per_iteration": float(self.seconds_per_iteration()),
+            "kernel_totals": {
+                k: int(v) for k, v in self.kernel_totals().items()
+            },
+        }
+        if include_iterations:
+            doc["iterations"] = [it.to_dict() for it in self.iterations]
+        return doc
 
 
 class Workspace:
@@ -541,6 +581,38 @@ class BatchRun:
     def lane_properties(self, lane: int) -> np.ndarray:
         """One lane's final vertex state, shape ``(n_vertices, *shape)``."""
         return self.properties[lane]
+
+    def to_dict(
+        self,
+        *,
+        include_lanes: bool = True,
+        include_iterations: bool = False,
+    ) -> dict:
+        """JSON-ready record of the batch (never the property arrays).
+
+        ``include_lanes`` adds one compact :meth:`RunStats.to_dict` per
+        lane; ``include_iterations`` additionally expands the per-sweep
+        (and per-lane) iteration lists.
+        """
+        doc = {
+            "backend": self.backend,
+            "n_lanes": self.n_lanes,
+            "n_supersteps": self.n_supersteps,
+            "converged": bool(self.converged),
+            "total_seconds": float(self.total_seconds),
+            "total_edges_processed": int(self.total_edges_processed),
+            "kernel_totals": {
+                k: int(v) for k, v in self.kernel_totals().items()
+            },
+        }
+        if include_lanes:
+            doc["lane_stats"] = [
+                stats.to_dict(include_iterations=include_iterations)
+                for stats in self.lane_stats
+            ]
+        if include_iterations:
+            doc["iterations"] = [it.to_dict() for it in self.iterations]
+        return doc
 
 
 def _validate_batch(programs, lane_properties, lane_active, n_vertices, options):

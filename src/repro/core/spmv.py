@@ -121,6 +121,16 @@ class PartitionWork:
     seconds: float
     kernel: str = ""
 
+    def to_dict(self) -> dict:
+        """JSON-ready record (stats endpoints, benchmark records)."""
+        return {
+            "partition": int(self.partition),
+            "edges": int(self.edges),
+            "active_columns": int(self.active_columns),
+            "seconds": float(self.seconds),
+            "kernel": self.kernel,
+        }
+
 
 @dataclass
 class BlockResult:

@@ -53,3 +53,24 @@ class IOFormatError(ReproError, ValueError):
 
 class BenchmarkError(ReproError, RuntimeError):
     """A benchmark harness invariant was violated."""
+
+
+class ServeError(ReproError):
+    """A graph-query service operation failed (``repro.serve``)."""
+
+
+class BadQueryError(ServeError, ValueError):
+    """A query request is malformed: unknown query kind, missing or
+    out-of-range parameters, or parameters of the wrong type."""
+
+
+class UnknownGraphError(ServeError, KeyError):
+    """A query named a graph the registry does not host."""
+
+
+class ServiceOverloadedError(ServeError, RuntimeError):
+    """Admission control shed a request: the pending-query queue is full.
+
+    The HTTP layer maps this to ``503 Service Unavailable`` with a
+    ``Retry-After`` hint; embedded callers should back off and retry.
+    """

@@ -1,0 +1,45 @@
+"""repro.serve — concurrent graph-query service over the K-lane engine.
+
+The serving subsystem turns the batched SpMM substrate into an online
+query server, the GraphMat thesis pushed one layer up: one tuned sparse
+backend, many concurrent user queries.
+
+- :class:`GraphRegistry` hosts named graphs mmap-loaded from ``.gmsnap``
+  snapshots (warm DCSC views shared by every in-flight query),
+- :class:`MicroBatcher` coalesces concurrent same-(graph, program)
+  requests into one ``run_graph_programs_batched`` call per dispatch
+  window (full batches dispatch immediately, partial ones on timeout),
+- :class:`ResultCache` answers repeated queries without engine work,
+- :class:`GraphService` ties them together behind a thread-safe
+  ``query()`` with bounded-queue admission control,
+- :mod:`repro.serve.http` / ``repro-serve`` expose it as JSON over HTTP.
+
+See docs/SERVING.md for architecture and operations guidance.
+"""
+
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.http import GraphHTTPServer, ServeHandler, make_server
+from repro.serve.registry import GraphEntry, GraphRegistry
+from repro.serve.scheduler import (
+    BatchPolicy,
+    MicroBatcher,
+    SchedulerStats,
+    Ticket,
+)
+from repro.serve.service import GraphService, QueryResult
+
+__all__ = [
+    "BatchPolicy",
+    "CacheStats",
+    "GraphEntry",
+    "GraphHTTPServer",
+    "GraphRegistry",
+    "GraphService",
+    "MicroBatcher",
+    "QueryResult",
+    "ResultCache",
+    "SchedulerStats",
+    "ServeHandler",
+    "Ticket",
+    "make_server",
+]

@@ -1,0 +1,120 @@
+"""Thread-safe LRU (+ optional TTL) result cache for the query service.
+
+Repeated queries — hot BFS roots, popular personalization vertices —
+are the common case of a service under heavy traffic; a served result is
+deterministic given (graph content, program, canonical parameters), so
+the service caches final result vectors and answers repeats without
+touching the engine at all.
+
+Keys are built by :class:`repro.serve.service.GraphService` from the
+graph's content hash (``Graph.cache_key()``), the query kind and the
+canonicalized parameters, so a re-registered graph with different edges
+can never serve a stale entry.  Values are treated as immutable by
+convention (the service hands out the cached array; callers must not
+mutate it).
+
+``capacity <= 0`` disables caching entirely (every ``get`` misses, no
+entry is stored); ``ttl_seconds = None`` disables expiry.  The clock is
+injectable for deterministic TTL tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+
+@dataclass
+class CacheStats:
+    """Counters since construction (monotone; read via ``to_dict``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    def to_dict(self) -> dict:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+
+class ResultCache:
+    """Bounded LRU mapping with optional per-entry time-to-live."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(
+                f"ttl_seconds must be positive or None, got {ttl_seconds}"
+            )
+        self.capacity = int(capacity)
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (value, stored_at); insertion order is recency order.
+        self._entries: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
+        self._stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: Hashable):
+        """The cached value, or None on miss/expiry (counts either way)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, stored_at = entry
+                if (
+                    self.ttl_seconds is not None
+                    and self._clock() - stored_at > self.ttl_seconds
+                ):
+                    del self._entries[key]
+                    self._stats.expirations += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self._stats.hits += 1
+                    return value
+            self._stats.misses += 1
+            return None
+
+    def put(self, key: Hashable, value) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries[key] = (value, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """JSON-ready counters plus current occupancy."""
+        with self._lock:
+            summary = self._stats.to_dict()
+            summary["entries"] = len(self._entries)
+            summary["capacity"] = self.capacity
+            summary["ttl_seconds"] = self.ttl_seconds
+            return summary

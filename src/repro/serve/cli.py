@@ -1,0 +1,151 @@
+"""``repro-serve``: host graph snapshots behind the batching query service.
+
+::
+
+    repro-serve --graph social=soc-graph.gmsnap --port 8642
+    repro-serve --graph g1=a.gmsnap --graph g2=b.gmsnap \\
+        --max-batch-k 16 --max-wait-ms 2 --cache-size 1024 \\
+        --backend threaded --n-workers 4
+
+Then query it with any HTTP client::
+
+    curl -s localhost:8642/healthz
+    curl -s localhost:8642/graphs
+    curl -s -X POST localhost:8642/query/bfs \\
+        -d '{"graph": "social", "root": 0, "top": 10}'
+    curl -s localhost:8642/stats
+
+Concurrent requests for the same (graph, program) coalesce into K-lane
+batched engine runs (one edge sweep serves the whole batch); repeated
+queries answer from the result cache.  See docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.options import KNOWN_BACKENDS, EngineOptions
+from repro.errors import ReproError
+from repro.serve.cache import ResultCache
+from repro.serve.http import ServeHandler, make_server
+from repro.serve.registry import GraphRegistry
+from repro.serve.scheduler import BatchPolicy
+from repro.serve.service import GraphService
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve graph queries over HTTP with dynamic micro-batching",
+    )
+    parser.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="NAME=SNAPSHOT",
+        help="host a .gmsnap snapshot under NAME (repeatable, required)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument(
+        "--max-batch-k", type=int, default=16,
+        help="max concurrent queries per engine run (default 16)",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="dispatch window for partial batches (default 2 ms)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=256,
+        help="pending-query bound before 503 shedding (default 256)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result-cache entries, 0 disables (default 1024)",
+    )
+    parser.add_argument(
+        "--cache-ttl", type=float, default=0.0,
+        help="result time-to-live in seconds, 0 = no expiry (default 0)",
+    )
+    parser.add_argument(
+        "--backend", choices=KNOWN_BACKENDS, default="serial",
+        help="engine execution backend for batch runs (default serial)",
+    )
+    parser.add_argument(
+        "--n-workers", type=int, default=1,
+        help="workers for the threaded/process backends (default 1)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="re-checksum snapshot arrays while loading",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def build_service(args: argparse.Namespace) -> GraphService:
+    """Registry + service from parsed CLI arguments (shared with tests)."""
+    if not args.graph:
+        raise ReproError("at least one --graph NAME=SNAPSHOT is required")
+    registry = GraphRegistry()
+    for spec in args.graph:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise ReproError(
+                f"--graph expects NAME=SNAPSHOT, got {spec!r}"
+            )
+        entry = registry.add_snapshot(name, path, verify=args.verify)
+        print(
+            f"hosting {name!r}: {entry.graph.n_vertices} vertices, "
+            f"{entry.graph.n_edges} edges from {path} "
+            f"({entry.load_seconds * 1e3:.1f} ms load)"
+        )
+    return GraphService(
+        registry,
+        options=EngineOptions(
+            backend=args.backend, n_workers=args.n_workers
+        ),
+        policy=BatchPolicy(
+            max_batch_k=args.max_batch_k,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+        ),
+        cache=ResultCache(
+            capacity=args.cache_size,
+            ttl_seconds=args.cache_ttl if args.cache_ttl > 0 else None,
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        service = build_service(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ServeHandler.log_requests = args.verbose
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro-serve listening on http://{host}:{port} "
+        f"(K<={service.policy.max_batch_k}, "
+        f"window {service.policy.max_wait_ms} ms, "
+        f"queue {service.policy.max_queue}, "
+        f"cache {service.cache.capacity})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""JSON-over-HTTP front end for :class:`~repro.serve.service.GraphService`.
+
+Pure standard library (``http.server``): a ``ThreadingHTTPServer`` hands
+each connection its own thread, every request thread funnels into the
+service's single micro-batching scheduler, and concurrent clients are
+exactly what forms the K-lane batches.
+
+Endpoints::
+
+    GET  /healthz            -> {"status": "ok", ...}
+    GET  /graphs             -> hosted graphs (name, sizes, source)
+    GET  /stats              -> service/scheduler/cache counters
+    POST /query/bfs          {"graph": "g", "root": 0, "top": 10}
+    POST /query/sssp         {"graph": "g", "source": 0, "vertices": [1, 2]}
+    POST /query/ppr          {"graph": "g", "source": 0, "r": 0.15,
+                              "iterations": 30, "top": 20}
+
+Query bodies carry the graph name, the adapter's parameters, and at most
+one of the payload bounds: ``"vertices"`` (explicit ids -> their values)
+or ``"top"`` (N best vertices; best = nearest for distances, highest for
+scores).  With neither, the full result vector is returned (``null`` for
+infinite entries, which JSON cannot spell).
+
+Errors map onto status codes: 400 malformed body/parameters, 404 unknown
+path/graph/kind, 503 + ``Retry-After`` when admission control sheds the
+request, 500 for engine failures.  Every response body is JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import __version__
+from repro.algorithms.adapters import get_adapter
+from repro.errors import (
+    BadQueryError,
+    ReproError,
+    ServiceOverloadedError,
+    UnknownGraphError,
+)
+from repro.serve.service import GraphService
+
+#: Largest accepted request body; queries are small, anything bigger is
+#: a client error (or abuse), not a graph query.
+MAX_BODY_BYTES = 1 << 20
+#: ``Retry-After`` seconds suggested on 503 shed responses.
+RETRY_AFTER_SECONDS = 1
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes requests into the owning :class:`GraphHTTPServer`'s service."""
+
+    server: "GraphHTTPServer"
+    protocol_version = "HTTP/1.1"
+    #: Quiet by default; the CLI flips this for --verbose.
+    log_requests = False
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.log_requests:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, document: dict, headers: dict | None = None):
+        body = json.dumps(document).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, headers: dict | None = None):
+        self._reply(status, {"error": message}, headers)
+
+    # -- GET -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "graphs": len(service.registry),
+                    "pending": service.pending,
+                },
+            )
+        elif self.path == "/graphs":
+            self._reply(200, {"graphs": service.registry.describe()})
+        elif self.path == "/stats":
+            self._reply(200, service.stats())
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    # -- POST ------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        # Consume the body before any reply: an unread body left on a
+        # keep-alive connection would be parsed as the next request
+        # line.  When the body is unreadable (oversized, absent), close
+        # the connection instead of trying to resynchronize it.
+        try:
+            body = self._read_json()
+        except BadQueryError as exc:
+            self._error(400, str(exc), {"Connection": "close"})
+            return
+        if not self.path.startswith("/query/"):
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        kind = self.path[len("/query/"):]
+        try:
+            graph_name = body.pop("graph", None)
+            if not isinstance(graph_name, str):
+                raise BadQueryError("body must name a 'graph' (string)")
+            top, vertices = self._payload_bounds(body)
+            adapter = get_adapter(kind)  # 404 for unknown kinds, below
+            result = self.server.service.query(graph_name, kind, body)
+        except UnknownGraphError as exc:
+            self._error(404, f"unknown graph {exc.args[0]!r}")
+        except ServiceOverloadedError as exc:
+            self._error(
+                503, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)}
+            )
+        except BadQueryError as exc:
+            if "unknown query kind" in str(exc):
+                self._error(404, str(exc))
+            else:
+                self._error(400, str(exc))
+        except ReproError as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 — the client must get a
+            # reply either way; without this, http.server drops the
+            # connection mid-exchange on any non-ReproError failure.
+            self._error(500, f"internal error: {type(exc).__name__}")
+        else:
+            try:
+                document = result.to_dict(
+                    top=top, vertices=vertices, order=adapter.order
+                )
+            except IndexError:
+                self._error(400, "'vertices' contains out-of-range ids")
+                return
+            self._reply(200, document)
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise BadQueryError("invalid Content-Length header") from None
+        if length <= 0:
+            raise BadQueryError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise BadQueryError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadQueryError(f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise BadQueryError("JSON body must be an object")
+        return body
+
+    @staticmethod
+    def _payload_bounds(body: dict) -> tuple[int | None, list[int] | None]:
+        """Pop and validate the response-shaping keys (not query params)."""
+        top = body.pop("top", None)
+        vertices = body.pop("vertices", None)
+        if top is not None and vertices is not None:
+            raise BadQueryError("pass at most one of 'top' and 'vertices'")
+        if top is not None:
+            try:
+                top = int(top)
+            except (TypeError, ValueError):
+                raise BadQueryError(f"'top' must be an integer, got {top!r}") from None
+            if top < 0:
+                raise BadQueryError(f"'top' must be >= 0, got {top}")
+        if vertices is not None:
+            if not isinstance(vertices, list):
+                raise BadQueryError("'vertices' must be a list of vertex ids")
+            try:
+                vertices = [int(v) for v in vertices]
+            except (TypeError, ValueError):
+                raise BadQueryError("'vertices' must be a list of vertex ids") from None
+            if any(v < 0 for v in vertices):
+                raise BadQueryError("'vertices' ids must be >= 0")
+        return top, vertices
+
+
+class GraphHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`GraphService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: GraphService) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+
+
+def make_server(
+    service: GraphService, host: str = "127.0.0.1", port: int = 8642
+) -> GraphHTTPServer:
+    """Bind (but do not start) the HTTP front end; port 0 picks a free one."""
+    return GraphHTTPServer((host, port), service)

@@ -1,0 +1,311 @@
+"""Dynamic micro-batching: coalesce concurrent requests into K-lane runs.
+
+The K-lane SpMM engine (:func:`repro.core.engine.run_graph_programs_batched`)
+amortizes one edge sweep over K queries — but only if something *forms*
+the batches.  This module is that something: request threads call
+:meth:`MicroBatcher.submit` and block on a future; one dispatcher thread
+watches the per-``(graph, program)`` queues and launches a batch when
+
+- a queue reaches ``max_batch_k`` waiting requests (the **full-batch
+  fast path** — no artificial latency when traffic is heavy), or
+- the *oldest* request in a queue has waited ``max_wait_ms`` (the
+  **timeout path** — partial batches dispatch rather than stranding a
+  lone request; K=1 is a supported degenerate batch, bitwise identical
+  to a sequential run).
+
+Overdue queues take priority over full ones (longest-waiting head
+first), so a saturated hot group cannot starve a lone request in a cold
+group past its dispatch window.
+
+Requests only share a batch when their :attr:`Ticket.group` keys are
+equal — the service builds the group from (graph name, query kind,
+adapter batch key), so mixed program types, mixed graphs, or mixed
+shared-sweep parameters are never co-batched, structurally.
+
+Admission control is a bound on the *total* number of queued tickets:
+past ``max_queue``, ``submit`` raises
+:class:`~repro.errors.ServiceOverloadedError` immediately (load
+shedding) instead of letting latency grow without bound.  Tickets
+already admitted are always resolved — on executor failure their futures
+carry the exception; on ``close()`` the dispatcher drains every queue
+before exiting.
+
+The batcher is engine-agnostic: it calls the ``execute(group, tickets)``
+callback (supplied by :class:`repro.serve.service.GraphService`) and the
+callback resolves each ticket's future.  That keeps scheduling policy
+testable with stub executors.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.errors import ServeError, ServiceOverloadedError
+
+
+@dataclass
+class BatchPolicy:
+    """The batching/admission knobs (see module docstring)."""
+
+    #: Maximum lanes per engine run (K); full queues dispatch immediately.
+    max_batch_k: int = 16
+    #: Longest a request may wait for lane-mates before a partial batch
+    #: dispatches.  0 disperses every request as soon as the dispatcher
+    #: sees it (the no-batching configuration benchmarks use).
+    max_wait_ms: float = 2.0
+    #: Total queued tickets (across all groups) before load shedding.
+    max_queue: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch_k < 1:
+            raise ServeError(
+                f"max_batch_k must be >= 1, got {self.max_batch_k}"
+            )
+        if self.max_wait_ms < 0:
+            raise ServeError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {self.max_queue}")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_batch_k": self.max_batch_k,
+            "max_wait_ms": self.max_wait_ms,
+            "max_queue": self.max_queue,
+        }
+
+
+@dataclass
+class Ticket:
+    """One admitted request waiting for its lane."""
+
+    #: Batching group: only equal groups may share an engine run.
+    group: Hashable
+    #: Opaque per-request payload the executor consumes (the service
+    #: stores the canonicalized query here).
+    payload: object
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class SchedulerStats:
+    """Dispatch counters (JSON-ready via ``to_dict``)."""
+
+    submitted: int = 0
+    shed: int = 0
+    dispatches: int = 0
+    full_dispatches: int = 0
+    timeout_dispatches: int = 0
+    lanes_dispatched: int = 0
+    max_batch_k_seen: int = 0
+    total_queue_wait_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "shed": self.shed,
+            "dispatches": self.dispatches,
+            "full_dispatches": self.full_dispatches,
+            "timeout_dispatches": self.timeout_dispatches,
+            "lanes_dispatched": self.lanes_dispatched,
+            "mean_batch_k": (
+                self.lanes_dispatched / self.dispatches
+                if self.dispatches
+                else 0.0
+            ),
+            "max_batch_k_seen": self.max_batch_k_seen,
+            "mean_queue_wait_ms": (
+                1e3 * self.total_queue_wait_seconds / self.lanes_dispatched
+                if self.lanes_dispatched
+                else 0.0
+            ),
+        }
+
+
+class MicroBatcher:
+    """One dispatcher thread forming batches from concurrent submits."""
+
+    def __init__(
+        self,
+        execute: Callable[[Hashable, list[Ticket]], None],
+        policy: BatchPolicy | None = None,
+        *,
+        name: str = "repro-serve-dispatcher",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or BatchPolicy()
+        self._execute = execute
+        self._clock = clock
+        self._cond = threading.Condition()
+        #: group -> FIFO of waiting tickets.  dict preserves insertion
+        #: order, so group scanning is deterministic.
+        self._queues: dict[Hashable, list[Ticket]] = {}
+        self._pending = 0
+        self._closed = False
+        self._stats = SchedulerStats()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, ticket: Ticket) -> Future:
+        """Admit ``ticket`` (or shed it); returns its future immediately."""
+        with self._cond:
+            if self._closed:
+                raise ServeError("scheduler is shut down")
+            if self._pending >= self.policy.max_queue:
+                self._stats.shed += 1
+                raise ServiceOverloadedError(
+                    f"query queue is full ({self.policy.max_queue} pending); "
+                    f"retry later"
+                )
+            ticket.enqueued_at = self._clock()
+            self._queues.setdefault(ticket.group, []).append(ticket)
+            self._pending += 1
+            self._stats.submitted += 1
+            self._cond.notify_all()
+        return ticket.future
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return self._pending
+
+    def stats(self) -> dict:
+        with self._cond:
+            summary = self._stats.to_dict()
+            summary["pending"] = self._pending
+            summary["policy"] = self.policy.to_dict()
+            return summary
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the dispatcher; by default drain queued tickets first.
+
+        With ``drain=False`` queued tickets fail with
+        :class:`~repro.errors.ServeError` instead of executing.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain_on_close = drain
+            self._cond.notify_all()
+        self._thread.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+    def _take_batch_locked(self) -> tuple[Hashable, list[Ticket], bool] | None:
+        """Pop the next dispatchable batch, or None when nothing is due.
+
+        Overdue groups win, longest-waiting head first — a sustained
+        stream of full batches in one hot group must not starve a
+        timed-out request in another past its ``max_wait_ms`` contract
+        (the lone request keeps aging, so it eventually outwaits every
+        freshly refilled queue).  With nothing overdue, any full queue
+        dispatches immediately (the fast path).
+        """
+        k = self.policy.max_batch_k
+        deadline_s = self.policy.max_wait_ms / 1e3
+        now = self._clock()
+        oldest_group, oldest_wait = None, -1.0
+        for group, queue in self._queues.items():
+            wait = now - queue[0].enqueued_at
+            if wait >= deadline_s and wait > oldest_wait:
+                oldest_group, oldest_wait = group, wait
+        if oldest_group is not None:
+            full = len(self._queues[oldest_group]) >= k
+            return oldest_group, self._pop_locked(oldest_group, k), full
+        for group, queue in self._queues.items():
+            if len(queue) >= k:
+                return group, self._pop_locked(group, k), True
+        return None
+
+    def _pop_locked(self, group: Hashable, count: int) -> list[Ticket]:
+        queue = self._queues[group]
+        batch, remainder = queue[:count], queue[count:]
+        if remainder:
+            self._queues[group] = remainder
+        else:
+            del self._queues[group]
+        self._pending -= len(batch)
+        return batch
+
+    def _next_deadline_locked(self) -> float | None:
+        """Seconds until the earliest queue times out (None = no queues)."""
+        if not self._queues:
+            return None
+        deadline_s = self.policy.max_wait_ms / 1e3
+        now = self._clock()
+        waits = [
+            deadline_s - (now - queue[0].enqueued_at)
+            for queue in self._queues.values()
+        ]
+        return max(0.0, min(waits))
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                batch = self._take_batch_locked()
+                while batch is None:
+                    if self._closed:
+                        break
+                    timeout = self._next_deadline_locked()
+                    self._cond.wait(timeout=timeout)
+                    batch = self._take_batch_locked()
+                if batch is None and self._closed:
+                    if not self._queues:
+                        return
+                    # Closing: drain (or fail) whatever is still queued,
+                    # one group at a time.
+                    group = next(iter(self._queues))
+                    tickets = self._pop_locked(group, self.policy.max_batch_k)
+                    if self._drain_on_close:
+                        batch = (group, tickets, False)
+                    else:
+                        for ticket in tickets:
+                            ticket.future.set_exception(
+                                ServeError("scheduler shut down before dispatch")
+                            )
+                        continue
+                group, tickets, full = batch
+                now = self._clock()
+                self._stats.dispatches += 1
+                self._stats.full_dispatches += int(full)
+                self._stats.timeout_dispatches += int(not full)
+                self._stats.lanes_dispatched += len(tickets)
+                self._stats.max_batch_k_seen = max(
+                    self._stats.max_batch_k_seen, len(tickets)
+                )
+                self._stats.total_queue_wait_seconds += sum(
+                    now - t.enqueued_at for t in tickets
+                )
+            # Execute outside the lock: submits keep flowing (and queue
+            # up the next batch) while the engine sweeps this one.
+            try:
+                self._execute(group, tickets)
+            except BaseException as exc:  # noqa: BLE001 — futures carry it
+                for ticket in tickets:
+                    if not ticket.future.done():
+                        ticket.future.set_exception(exc)
+            else:
+                for ticket in tickets:
+                    if not ticket.future.done():
+                        ticket.future.set_exception(
+                            ServeError(
+                                "executor returned without resolving a lane"
+                            )
+                        )

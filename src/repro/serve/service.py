@@ -1,0 +1,306 @@
+"""The graph-query service: cache -> micro-batcher -> K-lane engine.
+
+:class:`GraphService` is the embeddable core the HTTP layer (and the
+serving benchmark) drive.  A query's life:
+
+1. **Canonicalize** — the query kind's adapter
+   (:mod:`repro.algorithms.adapters`) validates parameters and produces
+   the canonical dict that keys everything downstream.
+2. **Result cache** — keyed by (graph content hash, kind, canonical
+   params): a hit returns immediately, no engine work at all.
+3. **Admission + batching** — a :class:`~repro.serve.scheduler.Ticket`
+   enters the micro-batcher under the group ``(graph, kind,
+   adapter.batch_key)``; the dispatcher coalesces up to ``max_batch_k``
+   same-group requests into one
+   :func:`~repro.core.engine.run_graph_programs_batched` call (partial
+   batches dispatch after ``max_wait_ms``), with identical in-flight
+   requests deduplicated onto one lane.
+4. **Demultiplex** — each lane's result vector is extracted, cached, and
+   delivered through the request's future.
+
+Every response is bitwise identical to a sequential run of the same
+query (the batched engine's lane-parity guarantee; K=1 partial batches
+included), so batching and caching are pure throughput optimizations —
+invisible to callers.
+
+The service is thread-safe: any number of request threads may call
+:meth:`query` concurrently; engine runs happen on the single dispatcher
+thread, whose NumPy kernels release the GIL (and may fan out further
+through ``EngineOptions.backend``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.algorithms.adapters import QueryAdapter, get_adapter
+from repro.core.engine import BatchRun, run_graph_programs_batched
+from repro.core.options import DEFAULT_OPTIONS, EngineOptions
+from repro.serve.cache import ResultCache
+from repro.serve.registry import GraphRegistry
+from repro.serve.scheduler import BatchPolicy, MicroBatcher, Ticket
+
+
+@dataclass
+class QueryResult:
+    """One answered query (see :meth:`GraphService.query`)."""
+
+    graph: str
+    kind: str
+    params: dict
+    #: The full result vector, shape ``(n_vertices,)`` — treat as
+    #: read-only (cache hits share one array).
+    values: np.ndarray
+    cached: bool
+    #: Lanes in the engine run that served this query (1 on the
+    #: timeout-dispatched singleton path; 0 for cache hits).
+    batch_k: int
+    #: Submit-to-resolution wall time, milliseconds.
+    latency_ms: float
+    #: Supersteps/edges of the serving run (empty dict for cache hits).
+    engine: dict = field(default_factory=dict)
+
+    def to_dict(
+        self, *, top: int | None = None, vertices: list[int] | None = None,
+        order: str = "max",
+    ) -> dict:
+        """JSON-ready view; ``top``/``vertices`` bound the payload.
+
+        ``top`` returns the N best vertices — highest value for
+        ``order="max"`` (scores), lowest *finite* value for
+        ``order="min"`` (distances; unreached vertices excluded).
+        """
+        doc = {
+            "graph": self.graph,
+            "kind": self.kind,
+            "params": self.params,
+            "cached": self.cached,
+            "batch_k": self.batch_k,
+            "latency_ms": self.latency_ms,
+            "engine": self.engine,
+            "n_vertices": int(self.values.shape[0]),
+        }
+        if vertices is not None:
+            doc["values"] = {
+                int(v): _json_value(self.values[int(v)]) for v in vertices
+            }
+        elif top is not None:
+            doc["top"] = self.top(top, order=order)
+        else:
+            doc["values"] = [_json_value(v) for v in self.values]
+        return doc
+
+    def top(self, n: int, *, order: str = "max") -> list[list]:
+        """``[[vertex, value], ...]`` for the N best vertices."""
+        values = self.values
+        if order == "min":
+            candidates = np.flatnonzero(np.isfinite(values))
+            ranked = candidates[np.argsort(values[candidates], kind="stable")]
+        else:
+            ranked = np.argsort(-values, kind="stable")
+        ranked = ranked[: max(0, int(n))]
+        return [[int(v), _json_value(values[v])] for v in ranked]
+
+
+def _json_value(value) -> float | None:
+    """One result scalar as JSON (inf/nan have no JSON spelling)."""
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+@dataclass
+class _Payload:
+    """Ticket payload: everything the executor needs per lane."""
+
+    adapter: QueryAdapter
+    canonical: dict
+    cache_key: Hashable
+
+
+class GraphService:
+    """Concurrent query façade over the batched engine (see module doc)."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        *,
+        options: EngineOptions = DEFAULT_OPTIONS,
+        policy: BatchPolicy | None = None,
+        cache: ResultCache | None = None,
+    ) -> None:
+        self.registry = registry
+        self.options = options
+        self.cache = cache if cache is not None else ResultCache()
+        self._batcher = MicroBatcher(self._execute_batch, policy)
+        self._lock = threading.Lock()
+        self._started_at = time.time()
+        self._queries = 0
+        self._kind_counts: dict[str, int] = {}
+        self._engine_seconds = 0.0
+        self._engine_supersteps = 0
+        self._engine_edges = 0
+        self._errors = 0
+
+    @property
+    def policy(self) -> BatchPolicy:
+        return self._batcher.policy
+
+    @property
+    def pending(self) -> int:
+        """Queries admitted but not yet dispatched (queue depth)."""
+        return self._batcher.pending
+
+    # ------------------------------------------------------------------
+    # Request path (any thread)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        graph_name: str,
+        kind: str,
+        params: dict | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Answer one query, batching it with concurrent same-kind queries.
+
+        Raises :class:`~repro.errors.UnknownGraphError`,
+        :class:`~repro.errors.BadQueryError`,
+        :class:`~repro.errors.ServiceOverloadedError` (queue full), or
+        whatever the engine raised for the serving batch.
+        """
+        t0 = time.perf_counter()
+        adapter = get_adapter(kind)
+        entry = self.registry.entry(graph_name)
+        canonical = adapter.canonicalize(entry.graph, dict(params or {}))
+        with self._lock:
+            self._queries += 1
+            self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        cache_key = (
+            entry.content_key(),
+            kind,
+            tuple(sorted(canonical.items())),
+        )
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return QueryResult(
+                graph=graph_name,
+                kind=kind,
+                params=canonical,
+                values=cached,
+                cached=True,
+                batch_k=0,
+                latency_ms=1e3 * (time.perf_counter() - t0),
+            )
+        group = (graph_name, kind, adapter.batch_key(canonical))
+        ticket = Ticket(
+            group=group,
+            payload=_Payload(
+                adapter=adapter, canonical=canonical, cache_key=cache_key
+            ),
+        )
+        try:
+            future = self._batcher.submit(ticket)
+            values, batch_k, engine = future.result(timeout=timeout)
+        except Exception:
+            with self._lock:
+                self._errors += 1
+            raise
+        return QueryResult(
+            graph=graph_name,
+            kind=kind,
+            params=canonical,
+            values=values,
+            cached=False,
+            batch_k=batch_k,
+            latency_ms=1e3 * (time.perf_counter() - t0),
+            engine=engine,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch path (the batcher's thread)
+    # ------------------------------------------------------------------
+    def _execute_batch(self, group: Hashable, tickets: list[Ticket]) -> None:
+        graph_name, kind, _batch_key = group
+        graph = self.registry.get(graph_name)
+        adapter: QueryAdapter = tickets[0].payload.adapter
+        # Identical concurrent queries (same cache key: the hot-root /
+        # popular-source pattern, in flight before the first one could
+        # populate the cache) share one lane instead of computing the
+        # same result K times — the lanes they free go to distinct work.
+        lanes: dict[Hashable, list[Ticket]] = {}
+        for ticket in tickets:
+            lanes.setdefault(ticket.payload.cache_key, []).append(ticket)
+        canonicals = [dups[0].payload.canonical for dups in lanes.values()]
+        programs = adapter.make_programs(canonicals)
+        lane_properties, lane_active = adapter.init_lanes(graph, canonicals)
+        options = adapter.engine_options(canonicals[0], self.options)
+        run = run_graph_programs_batched(
+            graph, programs, lane_properties, lane_active, options
+        )
+        engine = _engine_summary(run)
+        with self._lock:
+            self._engine_seconds += run.total_seconds
+            self._engine_supersteps += run.n_supersteps
+            self._engine_edges += run.total_edges_processed
+        for lane, dups in enumerate(lanes.values()):
+            # Copy the lane slice out: a view would pin the whole (K, n)
+            # batch block in memory for as long as the cache holds it.
+            values = np.array(adapter.extract(run, lane), copy=True)
+            values.setflags(write=False)
+            self.cache.put(dups[0].payload.cache_key, values)
+            for ticket in dups:
+                ticket.future.set_result((values, len(canonicals), engine))
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready service counters for the ``/stats`` endpoint."""
+        with self._lock:
+            service = {
+                "uptime_seconds": time.time() - self._started_at,
+                "queries": self._queries,
+                "queries_by_kind": dict(self._kind_counts),
+                "errors": self._errors,
+                "engine": {
+                    "seconds": self._engine_seconds,
+                    "supersteps": self._engine_supersteps,
+                    "edges_processed": self._engine_edges,
+                },
+                "options": {
+                    "backend": self.options.backend,
+                    "n_workers": self.options.n_workers,
+                    "n_partitions": self.options.n_partitions,
+                },
+            }
+        service["scheduler"] = self._batcher.stats()
+        service["cache"] = self.cache.stats()
+        service["graphs"] = self.registry.describe()
+        return service
+
+    def close(self) -> None:
+        """Drain queued queries and stop the dispatcher."""
+        self._batcher.close()
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _engine_summary(run: BatchRun) -> dict:
+    """The per-response slice of a batch's run record (JSON-ready)."""
+    return {
+        "supersteps": run.n_supersteps,
+        "edges_processed": run.total_edges_processed,
+        "seconds": run.total_seconds,
+        "backend": run.backend,
+        "converged": run.converged,
+        "kernels": run.kernel_totals(),
+    }

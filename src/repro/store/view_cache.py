@@ -14,15 +14,27 @@ instead of partitioning the edge list directly:
 The key includes :meth:`Graph.cache_key` (a blake2b of the edge
 triples), so two processes loading the same dataset share cache entries
 and a mutated graph never hits a stale one.
+
+Populate-on-miss is serialized by a process-wide lock: the query server
+(:mod:`repro.serve`) resolves views from multiple request threads, and
+without the lock two simultaneous misses would partition the same graph
+twice and race the adopt — the loser's mmap views silently dropped.
+The fast path (memory-cache hit) stays lock-free.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 from repro.graph.graph import Graph
 from repro.matrix.partition import PartitionedMatrix
 from repro.store.snapshot import load_views, save_views
+
+#: Serializes build-persist-adopt across threads (see module docstring).
+#: One process-wide lock, not per-key: misses are rare (once per
+#: (graph, view) per process) and a coarse lock cannot deadlock.
+_populate_lock = threading.Lock()
 
 
 def cache_entry_path(
@@ -45,24 +57,34 @@ def cached_partitions(
     strategy: str,
     cache_dir: str | Path,
 ) -> PartitionedMatrix:
-    """The requested view, via memory cache, disk cache, or build+persist."""
+    """The requested view, via memory cache, disk cache, or build+persist.
+
+    Thread-safe: concurrent misses for the same (graph, view) build and
+    adopt exactly once; every caller gets the same adopted object.
+    """
     cached = graph.peek_partitions(direction, n_partitions, strategy)
     if cached is not None:
         return cached
-    cache_dir = Path(cache_dir)
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    entry = cache_entry_path(cache_dir, graph, direction, n_partitions, strategy)
-    if not entry.exists():
-        built = (
-            graph.out_partitions(n_partitions, strategy)
-            if direction == "out"
-            else graph.in_partitions(n_partitions, strategy)
-        )
-        save_views(
-            built.shape,
-            [(direction, n_partitions, strategy, built)],
-            entry,
-            meta={"cache_key": graph.cache_key()},
-        )
-    loaded = load_views(entry)[0][3]
-    return graph.adopt_partitions(direction, n_partitions, strategy, loaded)
+    with _populate_lock:
+        # Re-check under the lock: another thread may have populated the
+        # memory cache while this one waited.
+        cached = graph.peek_partitions(direction, n_partitions, strategy)
+        if cached is not None:
+            return cached
+        cache_dir = Path(cache_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        entry = cache_entry_path(cache_dir, graph, direction, n_partitions, strategy)
+        if not entry.exists():
+            built = (
+                graph.out_partitions(n_partitions, strategy)
+                if direction == "out"
+                else graph.in_partitions(n_partitions, strategy)
+            )
+            save_views(
+                built.shape,
+                [(direction, n_partitions, strategy, built)],
+                entry,
+                meta={"cache_key": graph.cache_key()},
+            )
+        loaded = load_views(entry)[0][3]
+        return graph.adopt_partitions(direction, n_partitions, strategy, loaded)

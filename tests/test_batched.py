@@ -490,3 +490,43 @@ class TestSnapshotCacheWarm:
             "out", options.n_partitions, options.partition_strategy
         )
         assert view is not None and view.snapshot_path is not None
+
+
+class TestDegenerateSingleLane:
+    """K=1 is a supported batch and bitwise identical to sequential.
+
+    The serving scheduler dispatches partial batches on timeout, so a
+    lone request becomes a K=1 batched run; this pins down that the
+    degenerate batch takes the same SpMM machinery through the exact
+    sequential results — distances, ranks, convergence and superstep
+    counts alike.
+    """
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_k1_bfs_bitwise_matches_sequential(self, rmat_sym, backend):
+        root = ROOTS[2]
+        ref = run_bfs(rmat_sym, root)
+        batched = bfs_multi_source(rmat_sym, [root], options=_options(backend))
+        assert batched.run.n_lanes == 1
+        assert np.array_equal(ref.distances, batched.lane(0))
+        lane_stats = batched.run.lane_stats[0]
+        assert lane_stats.converged and ref.stats.converged
+        assert lane_stats.n_supersteps == ref.stats.n_supersteps
+        assert lane_stats.total_messages == ref.stats.total_messages
+
+    def test_k1_sssp_bitwise_matches_sequential(self, rmat_sym):
+        source = ROOTS[4]
+        ref = run_sssp(rmat_sym, source)
+        batched = sssp_landmarks(rmat_sym, [source])
+        assert np.array_equal(ref.distances, batched.lane(0))
+
+    def test_k1_ppr_bitwise_matches_sequential(self, rmat):
+        source = ROOTS[1]
+        ref = run_personalized_pagerank(rmat, source, max_iterations=9)
+        batched = pagerank_personalized_batch(
+            rmat, [source], max_iterations=9
+        )
+        assert np.array_equal(ref.ranks, batched.lane(0))
+        assert batched.run.total_edges_processed == (
+            ref.stats.total_edges_processed
+        )

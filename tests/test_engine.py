@@ -247,3 +247,66 @@ class TestPartitionedExecution:
                 graph, max_iterations=5, options=options
             ).ranks
         assert np.allclose(ranks["rows"], ranks["nnz"])
+
+
+class TestStatsSerialization:
+    """RunStats / IterationStats / BatchRun expose JSON-ready to_dict():
+    the /stats endpoint and the serving load generator consume these, so
+    dataclass internals (and numpy scalar types) must never leak."""
+
+    def _run_stats(self):
+        from repro.algorithms import run_pagerank
+        from repro.graph.generators import rmat_graph
+
+        graph = rmat_graph(6, 8, seed=2)
+        options = EngineOptions(
+            record_partition_stats=True, partitions_per_thread=2
+        )
+        return run_pagerank(graph, max_iterations=3, options=options).stats
+
+    def test_run_stats_round_trips_through_json(self):
+        import json
+
+        stats = self._run_stats()
+        doc = json.loads(json.dumps(stats.to_dict()))
+        assert doc["n_supersteps"] == stats.n_supersteps == 3
+        assert doc["total_edges_processed"] == stats.total_edges_processed
+        assert doc["total_messages"] == stats.total_messages
+        assert doc["backend"] == stats.backend
+        assert len(doc["iterations"]) == 3
+        first = doc["iterations"][0]
+        assert first["iteration"] == 0
+        assert first["messages_sent"] == stats.iterations[0].messages_sent
+        assert all(
+            isinstance(v, int) for v in first["kernel_counts"].values()
+        )
+        # Partition work rides along when recorded.
+        assert first["partition_work"]
+        assert {"partition", "edges", "kernel"} <= set(
+            first["partition_work"][0]
+        )
+        compact = stats.to_dict(include_iterations=False)
+        assert "iterations" not in compact
+        json.dumps(compact)
+
+    def test_batch_run_to_dict_excludes_properties(self):
+        import json
+
+        from repro.algorithms import bfs_multi_source
+        from repro.graph.generators import rmat_graph
+        from repro.graph.preprocess import symmetrize
+
+        graph = symmetrize(rmat_graph(6, 8, seed=2))
+        batched = bfs_multi_source(graph, [0, 1, 2])
+        doc = json.loads(
+            json.dumps(batched.run.to_dict(include_iterations=True))
+        )
+        assert doc["n_lanes"] == 3
+        assert doc["converged"] is True
+        assert "properties" not in doc
+        assert len(doc["lane_stats"]) == 3
+        assert doc["lane_stats"][0]["n_supersteps"] >= 1
+        assert doc["n_supersteps"] == len(doc["iterations"])
+        lean = batched.run.to_dict(include_lanes=False)
+        assert "lane_stats" not in lean and "iterations" not in lean
+        json.dumps(lean)

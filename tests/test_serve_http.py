@@ -1,0 +1,260 @@
+"""The repro-serve HTTP front end: routing, JSON shapes, error codes."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import run_bfs
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.preprocess import symmetrize
+from repro.serve import BatchPolicy, GraphRegistry, GraphService, make_server
+from repro.serve.cli import _build_parser, build_service
+from repro.store.snapshot import save_snapshot
+
+
+@pytest.fixture(scope="module")
+def sym():
+    return symmetrize(rmat_graph(scale=8, edge_factor=8, seed=5))
+
+
+@pytest.fixture(scope="module")
+def server(sym):
+    registry = GraphRegistry()
+    registry.add_graph("g", sym)
+    service = GraphService(
+        registry, policy=BatchPolicy(max_batch_k=8, max_wait_ms=20.0)
+    )
+    http_server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+    http_server.server_close()
+    service.close()
+
+
+def _get(server, path):
+    port = server.server_address[1]
+    try:
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(server, path, body):
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, document = _get(server, "/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["graphs"] == 1
+
+    def test_graphs_listing(self, server, sym):
+        status, document = _get(server, "/graphs")
+        assert status == 200
+        (entry,) = document["graphs"]
+        assert entry["name"] == "g"
+        assert entry["n_vertices"] == sym.n_vertices
+        assert entry["n_edges"] == sym.n_edges
+
+    def test_stats_shape(self, server):
+        status, document = _get(server, "/stats")
+        assert status == 200
+        assert {"scheduler", "cache", "graphs", "queries"} <= set(document)
+
+    def test_bfs_query_full_values_match_engine(self, server, sym):
+        status, document = _post(
+            server, "/query/bfs", {"graph": "g", "root": 0}
+        )
+        assert status == 200
+        assert document["params"] == {"root": 0}
+        expected = run_bfs(sym, 0).distances
+        got = np.array(
+            [np.inf if v is None else v for v in document["values"]]
+        )
+        assert np.array_equal(got, expected)
+        assert document["n_vertices"] == sym.n_vertices
+
+    def test_top_view_orders_distances_ascending(self, server):
+        status, document = _post(
+            server, "/query/bfs", {"graph": "g", "root": 0, "top": 5}
+        )
+        assert status == 200
+        top = document["top"]
+        assert top[0] == [0, 0.0]
+        assert all(a[1] <= b[1] for a, b in zip(top, top[1:]))
+
+    def test_vertices_view(self, server):
+        status, document = _post(
+            server,
+            "/query/sssp",
+            {"graph": "g", "source": 0, "vertices": [0, 1]},
+        )
+        assert status == 200
+        assert document["values"]["0"] == 0.0
+
+    def test_ppr_top_is_descending_scores(self, server):
+        status, document = _post(
+            server,
+            "/query/ppr",
+            {"graph": "g", "source": 0, "iterations": 3, "top": 4},
+        )
+        assert status == 200
+        top = document["top"]
+        assert all(a[1] >= b[1] for a, b in zip(top, top[1:]))
+
+    def test_repeat_query_served_from_cache(self, server):
+        body = {"graph": "g", "root": 7, "top": 1}
+        _post(server, "/query/bfs", body)
+        status, document = _post(server, "/query/bfs", dict(body))
+        assert status == 200
+        assert document["cached"] is True
+
+    def test_concurrent_http_clients_batch(self, server):
+        roots = list(range(16, 24))
+        with ThreadPoolExecutor(8) as pool:
+            replies = list(
+                pool.map(
+                    lambda r: _post(
+                        server, "/query/bfs", {"graph": "g", "root": r, "top": 1}
+                    ),
+                    roots,
+                )
+            )
+        assert all(status == 200 for status, _ in replies)
+        assert max(doc["batch_k"] for _, doc in replies) > 1
+
+    def test_error_codes(self, server):
+        assert _get(server, "/nope")[0] == 404
+        assert _post(server, "/nope", {})[0] == 404
+        assert _post(server, "/query/zzz", {"graph": "g"})[0] == 404
+        assert _post(server, "/query/bfs", {"graph": "zzz", "root": 0})[0] == 404
+        assert _post(server, "/query/bfs", {"graph": "g"})[0] == 400
+        assert _post(server, "/query/bfs", {"graph": "g", "root": -2})[0] == 400
+        assert (
+            _post(
+                server,
+                "/query/bfs",
+                {"graph": "g", "root": 0, "top": 1, "vertices": [0]},
+            )[0]
+            == 400
+        )
+        assert (
+            _post(
+                server,
+                "/query/bfs",
+                {"graph": "g", "root": 0, "vertices": [10**9]},
+            )[0]
+            == 400
+        )
+        # Malformed JSON body.
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/query/bfs",
+            data=b"{not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+        # Malformed Content-Length header: still a JSON 400, not a
+        # dropped connection.
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            connection.putrequest("POST", "/query/bfs")
+            connection.putheader("Content-Length", "abc")
+            connection.endheaders()
+            reply = connection.getresponse()
+            assert reply.status == 400
+            assert "Content-Length" in json.loads(reply.read())["error"]
+        finally:
+            connection.close()
+
+    def test_keepalive_survives_error_replies(self, server):
+        """An error reply must not leave the POST body unread on a
+        keep-alive connection — the leftover bytes would be parsed as
+        the next request line and desynchronize every later exchange."""
+        import http.client
+
+        port = server.server_address[1]
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            body = json.dumps({"graph": "g", "root": 0}).encode()
+            # 404 path with a body, then reuse the same connection.
+            connection.request("POST", "/nope", body=body)
+            reply = connection.getresponse()
+            assert reply.status == 404
+            reply.read()
+            connection.request("GET", "/healthz")
+            reply = connection.getresponse()
+            assert reply.status == 200
+            assert json.loads(reply.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_unexpected_failure_maps_to_500(self, server, monkeypatch):
+        def boom(*args, **kwargs):
+            raise ValueError("not a ReproError")
+
+        monkeypatch.setattr(server.service, "query", boom)
+        status, document = _post(
+            server, "/query/bfs", {"graph": "g", "root": 0}
+        )
+        assert status == 500
+        assert "internal error" in document["error"]
+
+
+class TestServeCLI:
+    def test_build_service_from_snapshot_specs(self, tmp_path, sym, capsys):
+        path = tmp_path / "g.gmsnap"
+        save_snapshot(sym, path)
+        args = _build_parser().parse_args(
+            [
+                "--graph", f"social={path}",
+                "--max-batch-k", "4",
+                "--max-wait-ms", "1",
+                "--cache-size", "16",
+            ]
+        )
+        service = build_service(args)
+        try:
+            assert service.registry.names() == ["social"]
+            assert service.policy.max_batch_k == 4
+            assert service.cache.capacity == 16
+            result = service.query("social", "bfs", {"root": 0})
+            assert np.array_equal(result.values, run_bfs(sym, 0).distances)
+        finally:
+            service.close()
+        assert "hosting 'social'" in capsys.readouterr().out
+
+    def test_bad_graph_specs_rejected(self):
+        from repro.errors import ReproError
+
+        for argv in ([], ["--graph", "noequals"], ["--graph", "=x"]):
+            args = _build_parser().parse_args(argv)
+            with pytest.raises(ReproError):
+                build_service(args)

@@ -19,6 +19,7 @@ from repro.core.engine import run_graph_program
 from repro.core.options import EngineOptions
 from repro.errors import IOFormatError
 from repro.graph.builder import build_graph
+from repro.graph.generators.rmat import rmat_graph
 from repro.graph.io import read_edge_list, read_mtx, write_edge_list
 from repro.matrix.ops import matrices_equal
 from repro.store import (
@@ -521,6 +522,43 @@ class TestEngineIntegration:
         with pytest.raises(ProgramError):
             EngineOptions(snapshot_cache="")
 
+    def test_cached_partitions_concurrent_readers(self, tmp_path):
+        """Populate-on-miss is race-free: many threads resolving the same
+        cold view build and persist exactly once, and every thread gets
+        the same adopted (snapshot-backed) object — the situation the
+        multi-threaded query server puts this cache in."""
+        import threading
+
+        from repro.store.view_cache import cached_partitions
+
+        graph = rmat_graph(8, 4, seed=13)
+        cache = tmp_path / "viewcache"
+        results: list = [None] * 16
+        errors: list = []
+        barrier = threading.Barrier(len(results))
+
+        def resolve(slot: int) -> None:
+            try:
+                barrier.wait(timeout=30)  # maximize miss contention
+                results[slot] = cached_partitions(graph, "out", 4, "rows", cache)
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=resolve, args=(slot,))
+            for slot in range(len(results))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(view is results[0] for view in results)
+        assert results[0].snapshot_path is not None
+        assert len(list(cache.glob("*.gmsnap"))) == 1
+        # The adopted view is what later engine runs resolve to.
+        assert graph.peek_partitions("out", 4, "rows") is results[0]
+
 
 # ----------------------------------------------------------------------
 # repro-convert CLI
@@ -669,7 +707,12 @@ class TestRegressionGate:
         assert "REGRESSION" in capsys.readouterr().out
 
     def test_committed_baselines_parse(self, gate):
-        for name in ("BENCH_backends.json", "BENCH_ingest.json"):
+        for name in (
+            "BENCH_backends.json",
+            "BENCH_ingest.json",
+            "BENCH_batch.json",
+            "BENCH_serve.json",
+        ):
             record = json.loads(
                 (BENCHMARKS_DIR / "baselines" / name).read_text()
             )
