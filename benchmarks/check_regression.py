@@ -65,6 +65,8 @@ CONFIG_KEYS = (
     "strategy",
     "per_kind",
     "n_clients",
+    "delta_fraction",
+    "serve_iterations",
 )
 #: Calibration ratios are clamped here: beyond this the hosts are too
 #: different for time scaling to mean anything, and a corrupt probe
@@ -89,6 +91,17 @@ RATIO_FLOORS = {
     "speedup.batched_vs_unbatched": 1.5,
     "batched.mean_batch_k": 2.0,
     "cached.hit_rate": 0.25,
+    # Dynamic-graph gate: the delta overlay must beat full recompute
+    # even at CI smoke scales (the >= 5x BFS acceptance bar applies to
+    # the committed full-scale record, asserted by bench_dynamic's own
+    # acceptance block at scale >= 16), and — regression-tested hard —
+    # overlay responses must stay BITWISE identical to a from-scratch
+    # rebuild, with the warm-started PageRank inside its error budget.
+    "speedup.bfs_incremental_vs_full": 1.5,
+    "speedup.pagerank_incremental_vs_full": 1.15,
+    "parity.bfs_bitwise": 1.0,
+    "parity.pagerank_bitwise": 1.0,
+    "parity.pagerank_warm_error_ok": 1.0,
 }
 
 
@@ -155,6 +168,30 @@ def extract_metrics(record: dict) -> dict[str, tuple[float, str]]:
                     float(amortization),
                     "ratio",
                 )
+    elif benchmark == "bench_dynamic":
+        for name in (
+            "bfs.full.seconds",
+            "bfs.incremental.seconds",
+            "pagerank.full.seconds",
+            "pagerank.incremental.seconds",
+            "mutation.apply_and_merge_views_seconds",
+        ):
+            value = _dig(record, name)
+            if value is not None:
+                metrics[name] = (float(value), "time")
+        # Short-timing-derived ratios are floor-only (see bench_batch);
+        # the parity booleans are hard floors at 1.0 — any drift from
+        # bitwise parity or the warm-start error budget fails the gate.
+        for name in (
+            "speedup.bfs_incremental_vs_full",
+            "speedup.pagerank_incremental_vs_full",
+            "parity.bfs_bitwise",
+            "parity.pagerank_bitwise",
+            "parity.pagerank_warm_error_ok",
+        ):
+            value = _dig(record, name)
+            if value is not None:
+                metrics[name] = (float(value), "floor")
     elif benchmark == "bench_serve":
         for phase in ("unbatched", "unbatched_service", "batched", "cached"):
             value = _dig(record, f"{phase}.seconds")

@@ -234,8 +234,16 @@ def _resolve_view(graph: Graph, direction: str, options: EngineOptions):
     (mmap, zero-copy), then build-and-persist.  Graphs loaded from a
     snapshot already carry their views in the memory cache, so either
     path makes repeat engine starts O(header) instead of O(edges).
+
+    Delta overlays (``repro.dynamic.DeltaGraph``) bypass the on-disk
+    cache: epochs are transient, so persisting one view per epoch would
+    churn the cache directory with entries that are never hit again —
+    the overlay's own copy-on-write view maintenance (base blocks
+    aliased, touched blocks re-merged) is the cache.
     """
-    if options.snapshot_cache is not None:
+    if options.snapshot_cache is not None and not getattr(
+        graph, "is_delta_overlay", False
+    ):
         from repro.store import cached_partitions
 
         return cached_partitions(

@@ -1,0 +1,46 @@
+"""Dynamic graphs: delta-overlay mutations with incremental recompute.
+
+``repro.dynamic`` makes the hosted-graph world mutable without giving up
+the immutable, mmap-backed substrate everything else is built on:
+
+- :mod:`repro.dynamic.delta_graph` — :class:`DeltaGraph`, a persistent
+  (copy-on-write) overlay of batched edge insertions and deletions over
+  an immutable base :class:`~repro.graph.graph.Graph`.  Applying a batch
+  returns a *new epoch*; partitioned DCSC views are maintained
+  incrementally (untouched partitions alias the base's — possibly
+  mmap'd — blocks, touched partitions are re-merged canonically), so
+  every engine path runs over the merged view unmodified and produces
+  results **bitwise identical** to a from-scratch rebuild.
+- :mod:`repro.dynamic.incremental` — incremental re-execution: monotone
+  programs (BFS / SSSP / connected components) restart from the
+  delta-affected frontier and converge to the exact (bitwise) answer;
+  PageRank warm-starts from the previous fixpoint through a residual
+  propagation program.  Non-monotone deltas fall back to a full
+  recompute automatically.
+
+See ``docs/DYNAMIC.md`` for the delta model, epoch/consistency semantics
+and the compaction story (``repro.store.delta_log``).
+"""
+
+from __future__ import annotations
+
+from repro.dynamic.delta_graph import DeltaGraph, EdgeBatch
+from repro.dynamic.incremental import (
+    DeltaPageRankProgram,
+    IncrementalRun,
+    incremental_bfs,
+    incremental_components,
+    incremental_pagerank,
+    incremental_sssp,
+)
+
+__all__ = [
+    "DeltaGraph",
+    "DeltaPageRankProgram",
+    "EdgeBatch",
+    "IncrementalRun",
+    "incremental_bfs",
+    "incremental_components",
+    "incremental_pagerank",
+    "incremental_sssp",
+]

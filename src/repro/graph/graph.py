@@ -232,6 +232,21 @@ class Graph:
             )
 
     # ------------------------------------------------------------------
+    def overlay(self) -> "Graph":
+        """A mutable delta overlay of this graph (``repro.dynamic``).
+
+        Returns a :class:`~repro.dynamic.delta_graph.DeltaGraph` at
+        epoch 0 — same edge set, views aliased zero-copy — whose
+        ``apply_delta`` produces successive immutable epochs.  The
+        preferred mutation entry point: this Graph itself stays
+        immutable (in-place edge mutation plus
+        :meth:`invalidate_caches` forfeits snapshot backing and any
+        sharing with in-flight readers).
+        """
+        from repro.dynamic.delta_graph import DeltaGraph
+
+        return DeltaGraph(self)
+
     def invalidate_caches(self) -> None:
         """Drop cached matrix views (call after mutating edges in place)."""
         self._out_cache.clear()

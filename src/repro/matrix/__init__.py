@@ -4,6 +4,14 @@ from repro.matrix.coo import COOMatrix
 from repro.matrix.csc import CSCMatrix
 from repro.matrix.csr import CSRMatrix
 from repro.matrix.dcsc import DCSCMatrix
+from repro.matrix.delta import (
+    BlockDelta,
+    dedup_last_by_key,
+    encode_keys,
+    merge_block,
+    merge_sorted_unique,
+    sorted_membership,
+)
 from repro.matrix.partition import (
     PartitionedMatrix,
     row_ranges_equal_nnz,
@@ -11,11 +19,17 @@ from repro.matrix.partition import (
 )
 
 __all__ = [
+    "BlockDelta",
     "COOMatrix",
     "CSRMatrix",
     "CSCMatrix",
     "DCSCMatrix",
     "PartitionedMatrix",
+    "dedup_last_by_key",
+    "encode_keys",
+    "merge_block",
+    "merge_sorted_unique",
     "row_ranges_equal_rows",
     "row_ranges_equal_nnz",
+    "sorted_membership",
 ]

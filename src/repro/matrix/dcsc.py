@@ -141,6 +141,37 @@ class DCSCMatrix:
             cp = np.zeros(1, dtype=np.int64)
         return cls(coo.shape, jc, cp, rows, vals, row_range=row_range)
 
+    @classmethod
+    def from_sorted_arrays(
+        cls,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        row_range: tuple[int, int] | None = None,
+    ) -> "DCSCMatrix":
+        """Compress entries already in canonical column-major order.
+
+        The delta-merge path (:mod:`repro.matrix.delta`) produces entries
+        sorted by ``(col, row)`` with unique coordinates; this constructor
+        skips :meth:`from_coo`'s O(nnz log nnz) lexsort and derives
+        ``jc``/``cp`` with one boundary scan.  Output is bitwise identical
+        to ``from_coo`` over the same edge set.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if cols.size:
+            boundary = np.empty(cols.shape[0], dtype=bool)
+            boundary[0] = True
+            boundary[1:] = cols[1:] != cols[:-1]
+            starts = np.flatnonzero(boundary)
+            jc = cols[starts]
+            cp = np.concatenate([starts, [cols.shape[0]]]).astype(np.int64)
+        else:
+            jc = np.zeros(0, dtype=np.int64)
+            cp = np.zeros(1, dtype=np.int64)
+        return cls(shape, jc, cp, rows, vals, row_range=row_range)
+
     def to_coo(self) -> COOMatrix:
         cols = np.repeat(self.jc, np.diff(self.cp))
         return COOMatrix(self.shape, self.ir.copy(), cols, self.num.copy())

@@ -11,7 +11,11 @@ backend, many concurrent user queries.
   window (full batches dispatch immediately, partial ones on timeout),
 - :class:`ResultCache` answers repeated queries without engine work,
 - :class:`GraphService` ties them together behind a thread-safe
-  ``query()`` with bounded-queue admission control,
+  ``query()`` with bounded-queue admission control — plus ``mutate()``:
+  batched edge insertions/deletions applied as epoch-versioned delta
+  overlays (``repro.dynamic``) with append-only logging, threshold
+  compaction, epoch-pinned in-flight queries and epoch-keyed cache
+  invalidation (see docs/DYNAMIC.md),
 - :mod:`repro.serve.http` / ``repro-serve`` expose it as JSON over HTTP.
 
 See docs/SERVING.md for architecture and operations guidance.

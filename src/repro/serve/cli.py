@@ -77,6 +77,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workers for the threaded/process backends (default 1)",
     )
     parser.add_argument(
+        "--delta-log-dir", default=None, metavar="DIR",
+        help="persist mutations (POST /graphs/NAME/edges) to append-only "
+             ".gmdelta logs in DIR; compacted snapshots land there too "
+             "(default: mutations are memory-only)",
+    )
+    parser.add_argument(
+        "--compact-threshold", type=float, default=0.25,
+        help="overlay size (fraction of the base edge count) that "
+             "triggers compaction back into a fresh snapshot "
+             "(default 0.25)",
+    )
+    parser.add_argument(
         "--verify", action="store_true",
         help="re-checksum snapshot arrays while loading",
     )
@@ -117,6 +129,8 @@ def build_service(args: argparse.Namespace) -> GraphService:
             capacity=args.cache_size,
             ttl_seconds=args.cache_ttl if args.cache_ttl > 0 else None,
         ),
+        delta_log_dir=args.delta_log_dir,
+        compact_threshold=args.compact_threshold,
     )
 
 

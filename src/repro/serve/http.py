@@ -14,6 +14,13 @@ Endpoints::
     POST /query/sssp         {"graph": "g", "source": 0, "vertices": [1, 2]}
     POST /query/ppr          {"graph": "g", "source": 0, "r": 0.15,
                               "iterations": 30, "top": 20}
+    POST /graphs/{name}/edges  {"insert": [[u, v], [u, v, w], ...],
+                                "delete": [[u, v], ...]}
+
+Mutations (``/graphs/{name}/edges``) apply one batched delta to the
+hosted graph — see ``docs/DYNAMIC.md`` — returning the new epoch and
+what was applied; queries admitted before the mutation finish on their
+own epoch, and cached results of earlier epochs stop matching.
 
 Query bodies carry the graph name, the adapter's parameters, and at most
 one of the payload bounds: ``"vertices"`` (explicit ids -> their values)
@@ -29,17 +36,21 @@ request, 500 for engine failures.  Every response body is JSON.
 from __future__ import annotations
 
 import json
+import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro import __version__
 from repro.algorithms.adapters import get_adapter
 from repro.errors import (
     BadQueryError,
+    GraphError,
     ReproError,
     ServiceOverloadedError,
     UnknownGraphError,
 )
 from repro.serve.service import GraphService
+
+_MUTATE_PATH = re.compile(r"^/graphs/([^/]+)/edges$")
 
 #: Largest accepted request body; queries are small, anything bigger is
 #: a client error (or abuse), not a graph query.
@@ -105,6 +116,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         except BadQueryError as exc:
             self._error(400, str(exc), {"Connection": "close"})
             return
+        mutate = _MUTATE_PATH.match(self.path)
+        if mutate is not None:
+            self._handle_mutation(mutate.group(1), body)
+            return
         if not self.path.startswith("/query/"):
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -142,6 +157,37 @@ class ServeHandler(BaseHTTPRequestHandler):
                 self._error(400, "'vertices' contains out-of-range ids")
                 return
             self._reply(200, document)
+
+    # -- mutations -------------------------------------------------------
+    def _handle_mutation(self, graph_name: str, body: dict) -> None:
+        """``POST /graphs/{name}/edges``: apply one delta batch."""
+        try:
+            inserts = _parse_edge_rows(body.pop("insert", None), weights=True)
+            deletes = _parse_edge_rows(body.pop("delete", None), weights=False)
+            if body:
+                raise BadQueryError(
+                    f"unknown mutation key(s) {sorted(body)}; "
+                    f"allowed: ['insert', 'delete']"
+                )
+            if inserts is None and deletes is None:
+                raise BadQueryError(
+                    "mutation body needs 'insert' and/or 'delete' edge lists"
+                )
+            summary = self.server.service.mutate(
+                graph_name, inserts=inserts, deletes=deletes
+            )
+        except UnknownGraphError as exc:
+            self._error(404, f"unknown graph {exc.args[0]!r}")
+        except (BadQueryError, GraphError) as exc:
+            # GraphError: out-of-range vertex ids, bad weight dtype —
+            # the client's fault, not the service's.
+            self._error(400, str(exc))
+        except ReproError as exc:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 — see do_POST
+            self._error(500, f"internal error: {type(exc).__name__}")
+        else:
+            self._reply(200, summary)
 
     def _read_json(self) -> dict:
         try:
@@ -187,6 +233,62 @@ class ServeHandler(BaseHTTPRequestHandler):
             if any(v < 0 for v in vertices):
                 raise BadQueryError("'vertices' ids must be >= 0")
         return top, vertices
+
+
+def _vertex_id(value, row) -> int:
+    """An exact integer vertex id, or 400.
+
+    A bare ``int()`` would silently truncate ``2.7`` to vertex 2 and
+    accept booleans/strings — mutating a *different* edge than the
+    client named.  Integral floats (``2.0``, unavoidable from some JSON
+    encoders) are accepted.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadQueryError(f"edge endpoints must be vertex ids, got {row!r}")
+    vertex = int(value)
+    if vertex != value:
+        raise BadQueryError(
+            f"edge endpoint {value!r} is not an integer vertex id ({row!r})"
+        )
+    return vertex
+
+
+def _parse_edge_rows(rows, *, weights: bool):
+    """``[[u, v], [u, v, w], ...]`` -> (src, dst[, weights]) lists.
+
+    Returns ``None`` for an absent/empty list.  Weight-less insert rows
+    default to weight 1; delete rows must be bare ``[u, v]`` pairs.
+    """
+    if rows is None:
+        return None
+    if not isinstance(rows, list):
+        raise BadQueryError("edge lists must be JSON arrays of [u, v(, w)]")
+    if not rows:
+        return None
+    src, dst, vals = [], [], []
+    has_weight = False
+    for row in rows:
+        if not isinstance(row, list) or not 2 <= len(row) <= (3 if weights else 2):
+            raise BadQueryError(
+                f"each edge must be [u, v]"
+                f"{' or [u, v, w]' if weights else ''}, got {row!r}"
+            )
+        src.append(_vertex_id(row[0], row))
+        dst.append(_vertex_id(row[1], row))
+        if weights:
+            if len(row) == 3:
+                try:
+                    vals.append(float(row[2]))
+                except (TypeError, ValueError):
+                    raise BadQueryError(
+                        f"edge weight must be numeric, got {row[2]!r}"
+                    ) from None
+                has_weight = True
+            else:
+                vals.append(1.0)
+    if weights and has_weight:
+        return (src, dst, vals)
+    return (src, dst)
 
 
 class GraphHTTPServer(ThreadingHTTPServer):

@@ -27,7 +27,15 @@ from repro.store.snapshot import load_snapshot
 
 @dataclass
 class GraphEntry:
-    """One hosted graph plus its provenance."""
+    """One hosted graph plus its provenance.
+
+    ``epoch`` counts applied mutation batches since registration (0 for
+    a never-mutated graph).  It versions the service's result-cache keys
+    — a mutation bumps the epoch, so every pre-mutation cache entry
+    stops matching — and every admitted query is pinned to the
+    ``(graph, epoch)`` pair it was admitted against (mutations swap the
+    entry's graph object; they never mutate a graph in flight).
+    """
 
     name: str
     graph: Graph
@@ -36,6 +44,8 @@ class GraphEntry:
     loaded_at: float = field(default_factory=time.time)
     #: Wall seconds ``load_snapshot`` took (0.0 for in-memory graphs).
     load_seconds: float = 0.0
+    #: Mutation batches applied since registration.
+    epoch: int = 0
 
     def content_key(self) -> str:
         """The graph's content hash (memoized on the Graph itself)."""
@@ -51,6 +61,8 @@ class GraphEntry:
             "mmap": self.graph.snapshot_path is not None,
             "loaded_at": self.loaded_at,
             "load_seconds": self.load_seconds,
+            "epoch": int(self.epoch),
+            "delta_edges": int(getattr(self.graph, "delta_edges", 0)),
         }
 
 
@@ -96,6 +108,35 @@ class GraphRegistry:
                     f"remove it first to replace it"
                 )
             self._entries[entry.name] = entry
+        return entry
+
+    def swap(
+        self,
+        name: str,
+        graph: Graph,
+        *,
+        epoch: int,
+        source: str | None = None,
+    ) -> GraphEntry:
+        """Replace a hosted graph's object atomically (mutation commit).
+
+        The old graph object is left untouched — queries already pinned
+        to it run to completion on their epoch; new queries see the new
+        entry.  ``source`` defaults to the old entry's.
+        """
+        with self._lock:
+            old = self._entries.get(name)
+            if old is None:
+                raise UnknownGraphError(name)
+            entry = GraphEntry(
+                name=name,
+                graph=graph,
+                source=source if source is not None else old.source,
+                loaded_at=old.loaded_at,
+                load_seconds=old.load_seconds,
+                epoch=int(epoch),
+            )
+            self._entries[name] = entry
         return entry
 
     def remove(self, name: str) -> None:

@@ -34,6 +34,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Hashable
 
 import numpy as np
@@ -41,9 +42,17 @@ import numpy as np
 from repro.algorithms.adapters import QueryAdapter, get_adapter
 from repro.core.engine import BatchRun, run_graph_programs_batched
 from repro.core.options import DEFAULT_OPTIONS, EngineOptions
+from repro.dynamic import DeltaGraph
+from repro.errors import ServeError
+from repro.graph.graph import Graph
 from repro.serve.cache import ResultCache
 from repro.serve.registry import GraphRegistry
 from repro.serve.scheduler import BatchPolicy, MicroBatcher, Ticket
+from repro.store.delta_log import (
+    DELTA_LOG_SUFFIX,
+    DeltaLog,
+    compact_delta_graph,
+)
 
 
 @dataclass
@@ -115,11 +124,20 @@ def _json_value(value) -> float | None:
 
 @dataclass
 class _Payload:
-    """Ticket payload: everything the executor needs per lane."""
+    """Ticket payload: everything the executor needs per lane.
+
+    The payload pins the *graph object* (and its epoch) the query was
+    admitted against: mutations swap the registry entry, so a batch
+    dispatched after a mutation still computes on the epoch its tickets
+    saw — the batch group includes the epoch, so tickets from different
+    epochs are never co-batched.
+    """
 
     adapter: QueryAdapter
     canonical: dict
     cache_key: Hashable
+    graph: Graph
+    epoch: int
 
 
 class GraphService:
@@ -132,12 +150,28 @@ class GraphService:
         options: EngineOptions = DEFAULT_OPTIONS,
         policy: BatchPolicy | None = None,
         cache: ResultCache | None = None,
+        delta_log_dir: str | Path | None = None,
+        compact_threshold: float = 0.25,
     ) -> None:
+        if not 0.0 < compact_threshold:
+            raise ServeError(
+                f"compact_threshold must be > 0, got {compact_threshold}"
+            )
         self.registry = registry
         self.options = options
         self.cache = cache if cache is not None else ResultCache()
+        #: Directory for per-graph append-only mutation logs and
+        #: compacted snapshots (None = mutations are memory-only).
+        self.delta_log_dir = (
+            Path(delta_log_dir) if delta_log_dir is not None else None
+        )
+        #: Overlay size (fraction of the base edge count) that triggers
+        #: compaction back into a plain graph / fresh snapshot.
+        self.compact_threshold = float(compact_threshold)
         self._batcher = MicroBatcher(self._execute_batch, policy)
         self._lock = threading.Lock()
+        self._mutate_lock = threading.Lock()
+        self._delta_logs: dict[str, DeltaLog] = {}
         self._started_at = time.time()
         self._queries = 0
         self._kind_counts: dict[str, int] = {}
@@ -145,6 +179,14 @@ class GraphService:
         self._engine_supersteps = 0
         self._engine_edges = 0
         self._errors = 0
+        self._mutations = 0
+        self._edges_inserted = 0
+        self._edges_deleted = 0
+        self._compactions = 0
+        self._recovered_batches = 0
+        if self.delta_log_dir is not None:
+            for name in registry.names():
+                self._recover(name)
 
     @property
     def policy(self) -> BatchPolicy:
@@ -175,13 +217,21 @@ class GraphService:
         """
         t0 = time.perf_counter()
         adapter = get_adapter(kind)
+        # One registry read pins this query to a consistent (graph
+        # object, epoch) pair: a concurrent mutation swaps the entry but
+        # never mutates a graph object in place.
         entry = self.registry.entry(graph_name)
         canonical = adapter.canonicalize(entry.graph, dict(params or {}))
         with self._lock:
             self._queries += 1
             self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+        # Epoch-versioned cache key: content hash alone is stale-prone
+        # once mutation exists (an overlay could be compacted back into
+        # a graph while old entries linger); the epoch makes every
+        # pre-mutation entry structurally unmatchable.
         cache_key = (
             entry.content_key(),
+            entry.epoch,
             kind,
             tuple(sorted(canonical.items())),
         )
@@ -196,11 +246,15 @@ class GraphService:
                 batch_k=0,
                 latency_ms=1e3 * (time.perf_counter() - t0),
             )
-        group = (graph_name, kind, adapter.batch_key(canonical))
+        group = (graph_name, entry.epoch, kind, adapter.batch_key(canonical))
         ticket = Ticket(
             group=group,
             payload=_Payload(
-                adapter=adapter, canonical=canonical, cache_key=cache_key
+                adapter=adapter,
+                canonical=canonical,
+                cache_key=cache_key,
+                graph=entry.graph,
+                epoch=entry.epoch,
             ),
         )
         try:
@@ -222,11 +276,149 @@ class GraphService:
         )
 
     # ------------------------------------------------------------------
+    # Mutation path (any thread; serialized by the mutation lock)
+    # ------------------------------------------------------------------
+    def mutate(
+        self,
+        graph_name: str,
+        inserts: tuple | None = None,
+        deletes: tuple | None = None,
+    ) -> dict:
+        """Apply one batch of edge insertions/deletions to a hosted graph.
+
+        Builds the next :class:`~repro.dynamic.DeltaGraph` epoch over
+        the current graph (copy-on-write — in-flight queries keep their
+        epoch), appends the batch to the graph's append-only delta log
+        (when ``delta_log_dir`` is configured), compacts the overlay
+        back into a plain graph / fresh snapshot once it exceeds
+        ``compact_threshold`` of the base, and swaps the registry entry.
+        Cached results of earlier epochs stop matching automatically
+        (the cache key carries the epoch).
+
+        Returns a JSON-ready summary of what was applied.
+        """
+        with self._mutate_lock:
+            entry = self.registry.entry(graph_name)
+            graph = entry.graph
+            overlay = (
+                graph if isinstance(graph, DeltaGraph) else DeltaGraph(graph)
+            )
+            new_graph: Graph = overlay.apply_delta(inserts, deletes)
+            batch = new_graph.last_batch
+            epoch = entry.epoch + 1
+            log = self._delta_log(graph_name)
+            if log is not None:
+                log.append(inserts, deletes, epoch=epoch)
+            compacted = False
+            source = None
+            if new_graph.delta_fraction >= self.compact_threshold:
+                if self.delta_log_dir is not None:
+                    snapshot = (
+                        self.delta_log_dir
+                        / f"{graph_name}-epoch{epoch}.gmsnap"
+                    )
+                    new_graph = compact_delta_graph(
+                        new_graph,
+                        snapshot,
+                        log=log,
+                        n_partitions=self.options.n_partitions,
+                        strategy=self.options.partition_strategy,
+                    )
+                    source = str(snapshot)
+                else:
+                    new_graph = new_graph.to_graph()
+                compacted = True
+            entry = self.registry.swap(
+                graph_name, new_graph, epoch=epoch, source=source
+            )
+            with self._lock:
+                self._mutations += 1
+                self._edges_inserted += batch.n_inserted
+                self._edges_deleted += batch.n_deleted
+                self._compactions += int(compacted)
+        return {
+            "graph": graph_name,
+            "epoch": epoch,
+            "n_edges": int(new_graph.n_edges),
+            "compacted": compacted,
+            "delta_edges": int(getattr(new_graph, "delta_edges", 0)),
+            **batch.to_dict(),
+        }
+
+    def _delta_log(self, graph_name: str) -> DeltaLog | None:
+        if self.delta_log_dir is None:
+            return None
+        log = self._delta_logs.get(graph_name)
+        if log is None:
+            log = DeltaLog(
+                self.delta_log_dir / f"{graph_name}{DELTA_LOG_SUFFIX}"
+            )
+            self._delta_logs[graph_name] = log
+        return log
+
+    def _recover(self, graph_name: str) -> None:
+        """Bring a freshly registered graph up to its durable state.
+
+        Acknowledged mutations outlive the process as (a) the latest
+        compacted ``{name}-epoch{N}.gmsnap`` in ``delta_log_dir`` and
+        (b) the append-only ``{name}.gmdelta`` log of batches since that
+        compaction.  On construction the service loads (a) when
+        present, replays (b) on top (a torn trailing record — a crash
+        mid-append — is dropped: that batch was never acknowledged),
+        and resumes epoch numbering where the log left off, so restart
+        neither loses acknowledged mutations nor resets epochs.
+        """
+        import re
+
+        from repro.store.snapshot import load_snapshot
+
+        entry = self.registry.entry(graph_name)
+        graph: Graph = entry.graph
+        epoch = entry.epoch
+        source = None
+        pattern = re.compile(
+            re.escape(graph_name) + r"-epoch(\d+)\.gmsnap$"
+        )
+        compacted = [
+            (int(match.group(1)), path)
+            for path in self.delta_log_dir.glob(f"{graph_name}-epoch*.gmsnap")
+            if (match := pattern.search(path.name)) is not None
+        ]
+        if compacted:
+            epoch, path = max(compacted)
+            graph = load_snapshot(path)
+            source = str(path)
+        log_path = self.delta_log_dir / f"{graph_name}{DELTA_LOG_SUFFIX}"
+        replayed = 0
+        if log_path.exists():
+            log = DeltaLog(log_path)
+            self._delta_logs[graph_name] = log
+            batches = log.replay(strict=False)
+            if batches:
+                overlay = (
+                    graph
+                    if isinstance(graph, DeltaGraph)
+                    else DeltaGraph(graph)
+                )
+                for batch in batches:
+                    overlay = overlay.apply_delta(
+                        batch.inserts(), batch.deletes()
+                    )
+                graph = overlay
+                epoch = max(epoch, batches[-1].epoch)
+                replayed = len(batches)
+        if graph is not entry.graph:
+            self.registry.swap(graph_name, graph, epoch=epoch, source=source)
+        self._recovered_batches += replayed
+
+    # ------------------------------------------------------------------
     # Dispatch path (the batcher's thread)
     # ------------------------------------------------------------------
     def _execute_batch(self, group: Hashable, tickets: list[Ticket]) -> None:
-        graph_name, kind, _batch_key = group
-        graph = self.registry.get(graph_name)
+        graph_name, _epoch, kind, _batch_key = group
+        # The pinned object, not a fresh registry read: a mutation
+        # between admission and dispatch must not retarget this batch.
+        graph = tickets[0].payload.graph
         adapter: QueryAdapter = tickets[0].payload.adapter
         # Identical concurrent queries (same cache key: the hot-root /
         # popular-source pattern, in flight before the first one could
@@ -271,6 +463,19 @@ class GraphService:
                     "seconds": self._engine_seconds,
                     "supersteps": self._engine_supersteps,
                     "edges_processed": self._engine_edges,
+                },
+                "mutations": {
+                    "recovered_batches": self._recovered_batches,
+                    "batches": self._mutations,
+                    "edges_inserted": self._edges_inserted,
+                    "edges_deleted": self._edges_deleted,
+                    "compactions": self._compactions,
+                    "compact_threshold": self.compact_threshold,
+                    "delta_log_dir": (
+                        str(self.delta_log_dir)
+                        if self.delta_log_dir is not None
+                        else None
+                    ),
                 },
                 "options": {
                     "backend": self.options.backend,

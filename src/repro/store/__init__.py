@@ -12,6 +12,10 @@ representation itself:
   edge lists / MatrixMarket (gzip ok) into snapshots,
 - :mod:`repro.store.view_cache` — the engine's automatic on-disk view
   cache (``EngineOptions.snapshot_cache``),
+- :mod:`repro.store.delta_log` — append-only mutation logs for hosted
+  graphs (``.gmdelta``): durable deltas over an immutable snapshot,
+  replayable into a :class:`~repro.dynamic.DeltaGraph`, compacted back
+  into a fresh snapshot past a size threshold,
 - :mod:`repro.store.cli` — the ``repro-convert`` command.
 
 See ``docs/FORMATS.md`` for the on-disk layout.
@@ -19,6 +23,13 @@ See ``docs/FORMATS.md`` for the on-disk layout.
 
 from __future__ import annotations
 
+from repro.store.delta_log import (
+    DELTA_LOG_MAGIC,
+    DELTA_LOG_SUFFIX,
+    DeltaLog,
+    LoggedBatch,
+    compact_delta_graph,
+)
 from repro.store.format import (
     ALIGNMENT,
     FORMAT_VERSION,
@@ -51,7 +62,12 @@ from repro.store.view_cache import cache_entry_path, cached_partitions
 __all__ = [
     "ALIGNMENT",
     "DEFAULT_CHUNK_EDGES",
+    "DELTA_LOG_MAGIC",
+    "DELTA_LOG_SUFFIX",
+    "DeltaLog",
     "FORMAT_VERSION",
+    "LoggedBatch",
+    "compact_delta_graph",
     "IngestReport",
     "MAGIC",
     "SNAPSHOT_SUFFIX",

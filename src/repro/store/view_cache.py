@@ -75,10 +75,15 @@ def cached_partitions(
         cache_dir.mkdir(parents=True, exist_ok=True)
         entry = cache_entry_path(cache_dir, graph, direction, n_partitions, strategy)
         if not entry.exists():
-            built = (
-                graph.out_partitions(n_partitions, strategy)
-                if direction == "out"
-                else graph.in_partitions(n_partitions, strategy)
+            # Build WITHOUT publishing to the graph's memory cache:
+            # the lock-free peek above must never observe the
+            # intermediate in-memory view — only the adopted
+            # snapshot-backed one (graph.out_partitions would install
+            # the un-adopted build mid-critical-section).
+            built = PartitionedMatrix.from_coo(
+                graph.edges.transpose() if direction == "out" else graph.edges,
+                n_partitions,
+                strategy,
             )
             save_views(
                 built.shape,
