@@ -67,6 +67,8 @@ CONFIG_KEYS = (
     "n_clients",
     "delta_fraction",
     "serve_iterations",
+    "batches",
+    "batch_edges",
 )
 #: Calibration ratios are clamped here: beyond this the hosts are too
 #: different for time scaling to mean anything, and a corrupt probe
@@ -102,6 +104,11 @@ RATIO_FLOORS = {
     "parity.bfs_bitwise": 1.0,
     "parity.pagerank_bitwise": 1.0,
     "parity.pagerank_warm_error_ok": 1.0,
+    # Replication gate: a follower that tails the full mutation history
+    # must answer reads bitwise identically to the leader, and the
+    # crash-recovered service must match too — any divergence fails
+    # regardless of timing.
+    "parity.follower_bitwise": 1.0,
 }
 
 
@@ -192,6 +199,20 @@ def extract_metrics(record: dict) -> dict[str, tuple[float, str]]:
             value = _dig(record, name)
             if value is not None:
                 metrics[name] = (float(value), "floor")
+    elif benchmark == "bench_replication":
+        for name in (
+            "bootstrap.seconds",
+            "lag.mean_seconds",
+            "catchup.seconds",
+            "recovery.seconds",
+        ):
+            value = _dig(record, name)
+            if value is not None:
+                metrics[name] = (float(value), "time")
+        # Bitwise parity of follower + recovered reads is a hard floor.
+        value = _dig(record, "parity.follower_bitwise")
+        if value is not None:
+            metrics["parity.follower_bitwise"] = (float(value), "floor")
     elif benchmark == "bench_serve":
         for phase in ("unbatched", "unbatched_service", "batched", "cached"):
             value = _dig(record, f"{phase}.seconds")

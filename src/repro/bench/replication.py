@@ -1,0 +1,285 @@
+"""Replication benchmark: lag, catch-up, and crash-recovery times.
+
+The questions this answers for the leader -> follower delta-log
+replication path (``repro.serve.replication``):
+
+- **replication lag** — a mutation commits on the leader; how long
+  until a follower tailing the log over HTTP long-poll has applied it
+  and serves reads at the same epoch?  Measured per batch over a live
+  leader/follower pair on loopback; mean and max reported.
+- **catch-up** — a follower starts from nothing against a leader that
+  already holds the full mutation history: snapshot download +
+  catch-up-then-swap log replay, timed start -> epoch parity.
+- **crash recovery** — the single-node restart path the follower's
+  resume also reuses: construct a fresh :class:`GraphService` over the
+  surviving snapshot + delta log and time the torn-tail repair +
+  replay until the service answers at the pre-crash epoch.
+- **parity** — after tailing every batch the follower's BFS response
+  must be bitwise identical to the leader's
+  (``parity.follower_bitwise`` is a hard 1.0 floor in the CI gate).
+
+All three paths move the same ``batches x batch_edges`` history, so
+the numbers are comparable: lag amortizes the history over live
+long-poll round-trips, catch-up replays it in bulk over HTTP, recovery
+replays it from the local disk with no network at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.calibrate import machine_calibration
+from repro.errors import ReplicationError
+from repro.graph.generators.rmat import rmat_graph
+from repro.store import close_snapshots, save_snapshot
+
+
+def _wait_for(predicate, timeout: float, what: str) -> float:
+    """Poll ``predicate`` until true; returns elapsed seconds."""
+    t0 = time.perf_counter()
+    deadline = t0 + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return time.perf_counter() - t0
+        time.sleep(0.0005)
+    raise ReplicationError(f"timed out after {timeout:.0f}s waiting for {what}")
+
+
+def bench_replication(
+    scale: int = 16,
+    edge_factor: int = 16,
+    batches: int = 50,
+    batch_edges: int = 256,
+    repeats: int = 3,
+    seed: int = 0,
+    timeout: float = 300.0,
+    work_dir: str | Path | None = None,
+) -> dict:
+    """Run the replication comparison; returns the JSON-ready record."""
+    import shutil
+    import tempfile
+
+    owns_work_dir = work_dir is None
+    work_dir = (
+        Path(tempfile.mkdtemp(prefix="bench_replication_"))
+        if work_dir is None
+        else Path(work_dir)
+    )
+    work_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        return _bench_replication_in(
+            work_dir,
+            scale=scale,
+            edge_factor=edge_factor,
+            batches=batches,
+            batch_edges=batch_edges,
+            repeats=repeats,
+            seed=seed,
+            timeout=timeout,
+        )
+    finally:
+        close_snapshots()
+        if owns_work_dir:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+
+def _bench_replication_in(
+    work_dir: Path,
+    *,
+    scale: int,
+    edge_factor: int,
+    batches: int,
+    batch_edges: int,
+    repeats: int,
+    seed: int,
+    timeout: float,
+) -> dict:
+    from repro.serve import (
+        GraphRegistry,
+        GraphService,
+        ReplicationFollower,
+        make_server,
+    )
+
+    rng = np.random.default_rng(seed)
+    built = rmat_graph(scale=scale, edge_factor=edge_factor, seed=seed)
+    n = built.n_vertices
+    snap = work_dir / "g.gmsnap"
+    save_snapshot(built, snap)
+    root = int(np.argmax(np.bincount(built.edges.rows, minlength=n)))
+
+    record: dict = {
+        "meta": {
+            "benchmark": "bench_replication",
+            "scale": scale,
+            "edge_factor": edge_factor,
+            "n_vertices": n,
+            "n_edges": built.n_edges,
+            "batches": batches,
+            "batch_edges": batch_edges,
+            "repeats": repeats,
+            "seed": seed,
+            "cpu_count": os.cpu_count(),
+            "calibration_seconds": machine_calibration(),
+        }
+    }
+
+    registry = GraphRegistry()
+    registry.add_snapshot("g", snap)
+    leader = GraphService(registry, delta_log_dir=work_dir / "wal")
+    server = make_server(leader, "127.0.0.1", 0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = "http://%s:%s" % server.server_address[:2]
+
+    def follower_pair(replica_name: str):
+        fregistry = GraphRegistry()
+        fservice = GraphService(fregistry, read_only=True)
+        follower = ReplicationFollower(
+            fservice,
+            url,
+            replica_dir=work_dir / replica_name,
+            poll_timeout=5.0,
+        )
+        return fservice, follower
+
+    def epochs_match(fservice) -> bool:
+        try:
+            return (
+                fservice.registry.entry("g").epoch
+                == leader.registry.entry("g").epoch
+            )
+        except Exception:  # noqa: BLE001 — graph not installed yet
+            return False
+
+    try:
+        # -- live tail: per-batch replication lag -----------------------
+        fservice, follower = follower_pair("replica-live")
+        follower.start()
+        bootstrap_seconds = _wait_for(
+            lambda: epochs_match(fservice), timeout, "follower bootstrap"
+        )
+        lags = []
+        for _ in range(batches):
+            src = rng.integers(0, n, batch_edges).tolist()
+            dst = rng.integers(0, n, batch_edges).tolist()
+            t0 = time.perf_counter()
+            leader.mutate("g", inserts=(src, dst))
+            _wait_for(
+                lambda: epochs_match(fservice), timeout, "batch replication"
+            )
+            lags.append(time.perf_counter() - t0)
+        want = leader.query("g", "bfs", {"root": root}).values
+        got = fservice.query("g", "bfs", {"root": root}).values
+        bitwise = bool(np.array_equal(want, got, equal_nan=True))
+        live_status = follower.status()
+        follower.stop()
+        fservice.close()
+        record["bootstrap"] = {"seconds": bootstrap_seconds}
+        record["lag"] = {
+            "batches": batches,
+            "batch_edges": batch_edges,
+            "mean_seconds": float(np.mean(lags)),
+            "max_seconds": float(np.max(lags)),
+            "snapshots_installed": live_status["snapshots_installed"],
+        }
+
+        # -- cold catch-up against the full history (best of repeats) ---
+        catchup_seconds = float("inf")
+        for repeat in range(max(1, repeats)):
+            fservice2, follower2 = follower_pair(f"replica-cold{repeat}")
+            t0 = time.perf_counter()
+            follower2.start()
+            _wait_for(
+                lambda: epochs_match(fservice2), timeout, "cold catch-up"
+            )
+            catchup_seconds = min(
+                catchup_seconds, time.perf_counter() - t0
+            )
+            got2 = fservice2.query("g", "bfs", {"root": root}).values
+            bitwise = bitwise and bool(
+                np.array_equal(want, got2, equal_nan=True)
+            )
+            follower2.stop()
+            fservice2.close()
+        record["catchup"] = {
+            "seconds": catchup_seconds,
+            "log_bytes": leader.replication_status("g")["log_bytes"],
+        }
+
+        # -- crash recovery from the surviving local state --------------
+        target_epoch = leader.registry.entry("g").epoch
+        server.shutdown()
+        server.server_close()
+        leader.close()
+        recovery_seconds = float("inf")
+        for _ in range(max(1, repeats)):
+            registry2 = GraphRegistry()
+            registry2.add_snapshot("g", snap)
+            t0 = time.perf_counter()
+            recovered = GraphService(
+                registry2, delta_log_dir=work_dir / "wal"
+            )
+            recovery_values = recovered.query(
+                "g", "bfs", {"root": root}
+            ).values
+            recovery_seconds = min(
+                recovery_seconds, time.perf_counter() - t0
+            )
+            assert recovered.registry.entry("g").epoch == target_epoch
+            bitwise = bitwise and bool(
+                np.array_equal(want, recovery_values, equal_nan=True)
+            )
+            stats = recovered.stats()["mutations"]
+            recovered.close()
+        record["recovery"] = {
+            "seconds": recovery_seconds,
+            "epoch": target_epoch,
+            "recovered_batches": stats["recovered_batches"],
+        }
+    except BaseException:
+        try:
+            server.shutdown()
+            server.server_close()
+            leader.close()
+        except Exception:  # noqa: BLE001 — teardown after failure
+            pass
+        raise
+
+    record["parity"] = {"follower_bitwise": 1.0 if bitwise else 0.0}
+    return record
+
+
+def write_replication_record(record: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def summarize_replication(record: dict) -> str:
+    meta = record["meta"]
+    lag = record["lag"]
+    lines = [
+        f"R-MAT scale {meta['scale']} ({meta['n_vertices']} vertices, "
+        f"{meta['n_edges']} edges), {meta['batches']} batches x "
+        f"{meta['batch_edges']} edges",
+        "",
+        f"bootstrap (snapshot + swap): "
+        f"{record['bootstrap']['seconds']:.3f} s",
+        f"replication lag: mean {1e3 * lag['mean_seconds']:.1f} ms, "
+        f"max {1e3 * lag['max_seconds']:.1f} ms per batch",
+        f"cold catch-up ({record['catchup']['log_bytes']} log bytes): "
+        f"{record['catchup']['seconds']:.3f} s",
+        f"crash recovery ({record['recovery']['recovered_batches']} batches "
+        f"-> epoch {record['recovery']['epoch']}): "
+        f"{record['recovery']['seconds']:.3f} s",
+        "",
+        f"follower bitwise parity: "
+        f"{bool(record['parity']['follower_bitwise'])}",
+    ]
+    return "\n".join(lines)

@@ -74,3 +74,40 @@ class ServiceOverloadedError(ServeError, RuntimeError):
     The HTTP layer maps this to ``503 Service Unavailable`` with a
     ``Retry-After`` hint; embedded callers should back off and retry.
     """
+
+
+class ServiceDrainingError(ServeError, RuntimeError):
+    """The service is draining for shutdown and admits no new work.
+
+    Raised by :meth:`~repro.serve.service.GraphService.query` and
+    ``mutate`` once a graceful shutdown began; already-admitted requests
+    still complete.  The HTTP layer maps this to ``503`` +
+    ``Retry-After`` — clients should fail over or retry elsewhere.
+    """
+
+
+class ReadOnlyServiceError(ServeError, RuntimeError):
+    """A mutation reached a read-only service (a replication follower).
+
+    The HTTP layer maps this to ``403``; send writes to the leader.
+    """
+
+
+class StaleReadError(ServeError, RuntimeError):
+    """A follower's epoch lag exceeded its staleness bound.
+
+    Raised by the follower's read guard when ``leader_epoch -
+    local_epoch`` is above ``max_epoch_lag``; mapped to ``503`` +
+    ``Retry-After`` (read from the leader, or wait for catch-up).
+    """
+
+
+class ReplicationError(ServeError, RuntimeError):
+    """The replication protocol failed (unreachable leader, bad frame,
+    cursor the leader no longer recognizes)."""
+
+
+class ClientError(ServeError, RuntimeError):
+    """A :class:`~repro.serve.client.ServeClient` request failed for good:
+    every eligible endpoint was tried, the retry budget is spent, or the
+    caller's deadline expired."""

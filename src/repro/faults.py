@@ -1,0 +1,176 @@
+"""Deterministic fault injection: named crash points on durability paths.
+
+The durability story of the serving stack — append-only delta logs,
+atomic snapshot writes, compaction, crash recovery — is only as good as
+its worst crash window.  This module makes those windows *addressable*:
+the write paths are instrumented with named **crash points**
+(:func:`crash_point` calls), and a test harness can arm any of them to
+kill the process (or raise) exactly there.  The kill-and-recover
+integration tests iterate :data:`CRASH_POINTS`, SIGKILL a serving
+subprocess at each one under live mutation load, restart it, and verify
+the recovered state equals a reference replay of the surviving log.
+
+Activation is explicit and external: either the ``REPRO_FAULTS``
+environment variable (read once at import — how the subprocess harness
+arms a server) or :func:`activate` (in-process tests).  The spec is a
+comma-separated list of ``point=action`` pairs::
+
+    REPRO_FAULTS="delta_log.append.torn=kill" repro-serve ...
+
+Actions:
+
+- ``kill``  — ``SIGKILL`` the process (no cleanup handlers, no flushes:
+  the honest crash).
+- ``exit``  — ``os._exit(137)`` (skips ``atexit``/finally blocks but
+  lets the interpreter's already-buffered writes be, useful under
+  coverage).
+- ``raise`` — raise :class:`InjectedFault` (in-process property tests:
+  the "crash" unwinds the stack instead of the process, so the test can
+  inspect the on-disk aftermath directly).
+
+Every crash point fires **once** and disarms itself, so a recovery path
+re-entering the same code (replaying a log it just tore, say) does not
+re-crash under the ``raise`` action.
+
+When nothing is armed the entire machinery is a single global ``None``
+check per crash point — the production overhead is one pointer
+comparison on paths that also do file I/O.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+from repro.errors import ReproError
+
+#: Environment variable holding the fault spec (read once at import).
+SPEC_ENV = "REPRO_FAULTS"
+
+#: Every crash point wired into the codebase.  The kill-and-recover
+#: harness iterates this tuple; adding a crash point here without wiring
+#: it (or vice versa) fails ``tests/test_faults.py``.
+CRASH_POINTS = (
+    # store/delta_log.py — the mutation durability path.
+    "delta_log.append.before",   # nothing written: batch fully lost, never acked
+    "delta_log.append.torn",     # half a record written: the torn-tail case
+    "delta_log.append.after",    # record durable, ack never sent
+    "delta_log.truncate.before", # compaction wrote the snapshot, log not yet cut
+    # store/delta_log.py — compaction windows around the snapshot write.
+    "compact.before_snapshot",   # overlay exceeded threshold, nothing written
+    "compact.after_snapshot",    # snapshot durable, old log still intact
+    # store/format.py — any snapshot write (tmp file complete, not renamed).
+    "snapshot.before_rename",
+    # serve/scheduler.py — dying with admitted queries on the dispatcher.
+    "serve.dispatch.before",
+)
+
+_VALID_ACTIONS = ("kill", "exit", "raise")
+
+
+class InjectedFault(ReproError):
+    """An armed crash point fired with the ``raise`` action."""
+
+
+_lock = threading.Lock()
+#: ``None`` = fault injection fully disabled (the production state);
+#: otherwise ``{point: action}`` for the armed points.
+_armed: dict[str, str] | None = None
+
+
+def parse_spec(spec: str) -> dict[str, str]:
+    """``"point=action,point=action"`` -> validated ``{point: action}``."""
+    armed: dict[str, str] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        point, separator, action = item.partition("=")
+        if not separator:
+            raise ReproError(
+                f"fault spec item {item!r} is not 'point=action'"
+            )
+        point, action = point.strip(), action.strip()
+        if point not in CRASH_POINTS:
+            raise ReproError(
+                f"unknown crash point {point!r}; known: {list(CRASH_POINTS)}"
+            )
+        if action not in _VALID_ACTIONS:
+            raise ReproError(
+                f"unknown fault action {action!r}; "
+                f"known: {list(_VALID_ACTIONS)}"
+            )
+        armed[point] = action
+    return armed
+
+
+def activate(spec: str | dict[str, str]) -> None:
+    """Arm crash points from a spec string or ``{point: action}`` dict."""
+    global _armed
+    armed = parse_spec(spec) if isinstance(spec, str) else dict(spec)
+    for point, action in armed.items():
+        if point not in CRASH_POINTS:
+            raise ReproError(f"unknown crash point {point!r}")
+        if action not in _VALID_ACTIONS:
+            raise ReproError(f"unknown fault action {action!r}")
+    with _lock:
+        _armed = armed or None
+
+
+def deactivate() -> None:
+    """Disarm everything (back to the zero-overhead state)."""
+    global _armed
+    with _lock:
+        _armed = None
+
+
+def enabled() -> bool:
+    """Is any crash point armed?"""
+    return _armed is not None
+
+
+def armed(point: str) -> bool:
+    """Is this specific crash point armed?
+
+    Write paths that must *prepare* a crash (the torn-record case writes
+    half a record first) gate that preparation on this, so the untouched
+    path stays byte-identical when fault injection is off.
+    """
+    active = _armed
+    return active is not None and point in active
+
+
+def crash_point(point: str) -> None:
+    """Fire ``point`` if armed; a no-op (one ``None`` check) otherwise.
+
+    When armed the call **does not return**: ``kill``/``exit`` end the
+    process, ``raise`` raises :class:`InjectedFault`.  The point disarms
+    itself first, so recovery code re-entering the same path survives.
+    """
+    global _armed
+    active = _armed
+    if active is None:
+        return
+    with _lock:
+        if _armed is None:
+            return
+        action = _armed.pop(point, None)
+        if action is None:
+            return
+        if not _armed:
+            _armed = None
+    if action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif action == "exit":
+        os._exit(137)
+    raise InjectedFault(point)
+
+
+def _load_env() -> None:
+    spec = os.environ.get(SPEC_ENV)
+    if spec:
+        activate(spec)
+
+
+_load_env()

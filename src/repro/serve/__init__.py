@@ -16,14 +16,21 @@ backend, many concurrent user queries.
   overlays (``repro.dynamic``) with append-only logging, threshold
   compaction, epoch-pinned in-flight queries and epoch-keyed cache
   invalidation (see docs/DYNAMIC.md),
-- :mod:`repro.serve.http` / ``repro-serve`` expose it as JSON over HTTP.
+- :mod:`repro.serve.http` / ``repro-serve`` expose it as JSON over HTTP,
+- :class:`ReplicationFollower` tails a leader's delta logs into a
+  read-only replica (bounded-staleness reads, catch-up-then-swap
+  snapshot installs — see docs/SERVING.md and ``repro-serve --follow``),
+- :class:`ServeClient` is the retrying client: per-request deadlines,
+  ``Retry-After``-aware backoff with jitter, read failover to followers.
 
-See docs/SERVING.md for architecture and operations guidance.
+See docs/SERVING.md for architecture, failure modes and operations.
 """
 
 from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.client import ServeClient
 from repro.serve.http import GraphHTTPServer, ServeHandler, make_server
 from repro.serve.registry import GraphEntry, GraphRegistry
+from repro.serve.replication import ReplicationFollower
 from repro.serve.scheduler import (
     BatchPolicy,
     MicroBatcher,
@@ -41,8 +48,10 @@ __all__ = [
     "GraphService",
     "MicroBatcher",
     "QueryResult",
+    "ReplicationFollower",
     "ResultCache",
     "SchedulerStats",
+    "ServeClient",
     "ServeHandler",
     "Ticket",
     "make_server",

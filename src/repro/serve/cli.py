@@ -18,18 +18,33 @@ Then query it with any HTTP client::
 Concurrent requests for the same (graph, program) coalesce into K-lane
 batched engine runs (one edge sweep serves the whole batch); repeated
 queries answer from the result cache.  See docs/SERVING.md.
+
+Replication: a durable leader (``--delta-log-dir``) can be followed by
+read-only replicas that bootstrap and tail it over HTTP::
+
+    repro-serve --graph g=g.gmsnap --delta-log-dir /var/lib/repro &
+    repro-serve --follow http://127.0.0.1:8642 \\
+        --replica-dir /var/lib/repro-replica --port 8643
+
+SIGTERM (and Ctrl-C) trigger a graceful drain: admission stops (new
+requests get 503 + Retry-After and fail over), admitted requests finish,
+delta logs are fsynced, then the process exits 0 — zero admitted
+requests are lost.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 
 from repro.core.options import KNOWN_BACKENDS, EngineOptions
 from repro.errors import ReproError
 from repro.serve.cache import ResultCache
 from repro.serve.http import ServeHandler, make_server
 from repro.serve.registry import GraphRegistry
+from repro.serve.replication import ReplicationFollower
 from repro.serve.scheduler import BatchPolicy
 from repro.serve.service import GraphService
 
@@ -89,6 +104,33 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default 0.25)",
     )
     parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every delta-log append before acknowledging a "
+             "mutation (power-loss durability; default: flush only, "
+             "which survives process crashes but not power loss)",
+    )
+    parser.add_argument(
+        "--follow", default=None, metavar="LEADER_URL",
+        help="run as a read-only replication follower of LEADER_URL "
+             "(e.g. http://leader:8642); graphs are discovered and "
+             "bootstrapped from the leader, --graph is not required",
+    )
+    parser.add_argument(
+        "--replica-dir", default=None, metavar="DIR",
+        help="follower state directory: leader snapshots and the local "
+             "copy of the delta log land here (required with --follow)",
+    )
+    parser.add_argument(
+        "--max-epoch-lag", type=int, default=8,
+        help="follower staleness bound: reads 503 once the replica lags "
+             "the leader by more than this many epochs; negative "
+             "disables the guard (default 8)",
+    )
+    parser.add_argument(
+        "--poll-timeout", type=float, default=10.0,
+        help="follower long-poll duration in seconds (default 10)",
+    )
+    parser.add_argument(
         "--verify", action="store_true",
         help="re-checksum snapshot arrays while loading",
     )
@@ -100,7 +142,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def build_service(args: argparse.Namespace) -> GraphService:
     """Registry + service from parsed CLI arguments (shared with tests)."""
-    if not args.graph:
+    follower_mode = getattr(args, "follow", None) is not None
+    if follower_mode:
+        if not getattr(args, "replica_dir", None):
+            raise ReproError("--follow requires --replica-dir DIR")
+        if args.graph:
+            raise ReproError(
+                "--graph and --follow are mutually exclusive: a follower "
+                "bootstraps its graphs from the leader"
+            )
+    elif not args.graph:
         raise ReproError("at least one --graph NAME=SNAPSHOT is required")
     registry = GraphRegistry()
     for spec in args.graph:
@@ -131,6 +182,8 @@ def build_service(args: argparse.Namespace) -> GraphService:
         ),
         delta_log_dir=args.delta_log_dir,
         compact_threshold=args.compact_threshold,
+        fsync=getattr(args, "fsync", False),
+        read_only=follower_mode,
     )
 
 
@@ -143,21 +196,61 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     ServeHandler.log_requests = args.verbose
     server = make_server(service, args.host, args.port)
+    follower = None
+    if args.follow is not None:
+        follower = ReplicationFollower(
+            service,
+            args.follow,
+            replica_dir=args.replica_dir,
+            max_epoch_lag=(
+                args.max_epoch_lag if args.max_epoch_lag >= 0 else None
+            ),
+            poll_timeout=args.poll_timeout,
+        )
+        server.follower = follower
+        try:
+            follower.start()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            server.server_close()
+            service.close()
+            return 2
     host, port = server.server_address[:2]
+    role = f"follower of {args.follow}" if follower is not None else "leader"
     print(
         f"repro-serve listening on http://{host}:{port} "
         f"(K<={service.policy.max_batch_k}, "
         f"window {service.policy.max_wait_ms} ms, "
         f"queue {service.policy.max_queue}, "
-        f"cache {service.cache.capacity})"
+        f"cache {service.cache.capacity}, "
+        f"fsync {'on' if service.fsync else 'off'}, {role})",
+        flush=True,
     )
+
+    # Graceful drain on SIGTERM/SIGINT: stop admission first (new work
+    # gets 503 and fails over), then stop accepting connections.
+    # serve_forever() can't be stopped from inside its own thread, so
+    # the handler fires shutdown() from a helper thread and main()
+    # falls through to the drain sequence below.
+    def _drain(signum, frame) -> None:
+        print(f"\ndraining on signal {signum}", flush=True)
+        service.begin_drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nshutting down")
     finally:
-        server.server_close()
+        # Admitted requests finish on their connection threads, then the
+        # scheduler drains, then every delta log is synced — the order
+        # that makes "acknowledged" mean "durable and answered".
+        server.wait_idle(timeout=30.0)
+        if follower is not None:
+            follower.stop()
         service.close()
+        server.server_close()
+    print("drained; exiting", flush=True)
     return 0
 
 

@@ -1,0 +1,246 @@
+"""A retrying HTTP client for ``repro-serve`` deployments.
+
+:class:`ServeClient` wraps one leader (writes) plus any number of
+read-only followers (reads) behind per-request deadlines and a retry
+policy tuned to how the server actually degrades:
+
+- **503** (overloaded, draining, or a follower past its staleness
+  bound) is a *polite* refusal: honor the server's ``Retry-After`` (or
+  exponential backoff when absent) and try again — on the **next**
+  endpoint for reads, since a draining leader's followers keep serving.
+- **Connection failures** retry with exponential backoff plus full
+  jitter (decorrelated herds when many clients lose one server at
+  once), failing over across endpoints for reads.
+- **4xx** responses are the caller's fault and raise immediately — a
+  malformed query will not become well-formed by retrying, and a 403
+  from a follower means the write belongs on the leader.
+
+Mutations only ever target the leader (followers reject them), and are
+retried only on *connection* failures — a timed-out mutation may have
+committed, and blind re-send would double-apply; the caller decides.
+
+Everything is standard library (``urllib``); a deadline bounds the
+whole call including every retry sleep, not one attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ClientError
+
+#: Default per-attempt socket timeout (seconds).
+DEFAULT_TIMEOUT = 10.0
+#: Backoff base/cap for retries without a ``Retry-After`` hint.
+BACKOFF_BASE_SECONDS = 0.1
+BACKOFF_CAP_SECONDS = 2.0
+
+
+class ServeClient:
+    """Deadline-aware client over one leader and optional followers."""
+
+    def __init__(
+        self,
+        leader_url: str,
+        followers: list[str] | tuple[str, ...] = (),
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = 3,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.leader_url = leader_url.rstrip("/")
+        self.followers = [url.rstrip("/") for url in followers]
+        self.timeout = float(timeout)
+        #: Extra attempts after the first, per call (not per endpoint).
+        self.retries = int(retries)
+        self._rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        graph: str,
+        kind: str,
+        params: dict | None = None,
+        *,
+        top: int | None = None,
+        vertices: list[int] | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """POST ``/query/{kind}``; reads fail over leader -> followers."""
+        body = {"graph": graph, **(params or {})}
+        if top is not None:
+            body["top"] = int(top)
+        if vertices is not None:
+            body["vertices"] = [int(v) for v in vertices]
+        return self._call(
+            "POST",
+            f"/query/{kind}",
+            body,
+            endpoints=[self.leader_url, *self.followers],
+            retry_503=True,
+            deadline=deadline,
+        )
+
+    def mutate(
+        self,
+        graph: str,
+        insert: list | None = None,
+        delete: list | None = None,
+        *,
+        deadline: float | None = None,
+    ) -> dict:
+        """POST ``/graphs/{graph}/edges`` — leader only, no blind re-send.
+
+        503 (draining/overloaded leader) is retried after the server's
+        ``Retry-After``: the mutation was *refused*, not half-applied.
+        A transport failure mid-request raises instead — the batch may
+        have committed, and replaying it is the caller's call.
+        """
+        body: dict = {}
+        if insert is not None:
+            body["insert"] = insert
+        if delete is not None:
+            body["delete"] = delete
+        return self._call(
+            "POST",
+            f"/graphs/{graph}/edges",
+            body,
+            endpoints=[self.leader_url],
+            retry_503=True,
+            retry_transport=False,
+            deadline=deadline,
+        )
+
+    def stats(self, *, deadline: float | None = None) -> dict:
+        return self._call(
+            "GET", "/stats", None,
+            endpoints=[self.leader_url, *self.followers],
+            retry_503=False, deadline=deadline,
+        )
+
+    def ready(self, url: str | None = None) -> bool:
+        """One endpoint's readiness (no retries: probes must be honest)."""
+        try:
+            self._request(
+                url or self.leader_url, "GET", "/healthz/ready", None,
+                timeout=self.timeout,
+            )
+        except (ClientError, OSError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The retry engine
+    # ------------------------------------------------------------------
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        *,
+        endpoints: list[str],
+        retry_503: bool,
+        retry_transport: bool = True,
+        deadline: float | None = None,
+    ) -> dict:
+        give_up_at = (
+            time.monotonic() + float(deadline) if deadline is not None else None
+        )
+        last_error: Exception | None = None
+        attempt = 0
+        while attempt <= self.retries:
+            url = endpoints[attempt % len(endpoints)]
+            timeout = self.timeout
+            if give_up_at is not None:
+                remaining = give_up_at - time.monotonic()
+                if remaining <= 0:
+                    break
+                timeout = min(timeout, remaining)
+            try:
+                return self._request(url, method, path, body, timeout=timeout)
+            except _Retryable as exc:
+                if not retry_503:
+                    raise ClientError(str(exc)) from exc
+                last_error = exc
+                pause = (
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else self._backoff(attempt)
+                )
+            except (urllib.error.URLError, OSError, TimeoutError) as exc:
+                if not retry_transport:
+                    raise ClientError(
+                        f"{method} {url}{path} failed in transit ({exc}); "
+                        f"not re-sent — the request may have been applied"
+                    ) from exc
+                last_error = exc
+                pause = self._backoff(attempt)
+            attempt += 1
+            if attempt > self.retries:
+                break
+            if give_up_at is not None:
+                pause = min(pause, max(0.0, give_up_at - time.monotonic()))
+            if pause > 0:
+                time.sleep(pause)
+        raise ClientError(
+            f"{method} {path} failed after {attempt} attempt(s) across "
+            f"{len(endpoints)} endpoint(s): {last_error}"
+        )
+
+    def _backoff(self, attempt: int) -> float:
+        """Full jitter: uniform in [0, min(cap, base * 2^attempt)]."""
+        return self._rng.uniform(
+            0.0, min(BACKOFF_CAP_SECONDS, BACKOFF_BASE_SECONDS * 2**attempt)
+        )
+
+    def _request(
+        self,
+        url: str,
+        method: str,
+        path: str,
+        body: dict | None,
+        *,
+        timeout: float,
+    ) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            try:
+                message = json.loads(payload).get("error", "")
+            except (ValueError, AttributeError):
+                message = payload.decode("utf-8", "replace")[:200]
+            if exc.code == 503:
+                header = exc.headers.get("Retry-After") if exc.headers else None
+                try:
+                    retry_after = float(header) if header is not None else None
+                except ValueError:
+                    retry_after = None
+                raise _Retryable(
+                    f"{url}{path}: HTTP 503 ({message})", retry_after
+                ) from None
+            raise ClientError(
+                f"{url}{path}: HTTP {exc.code} ({message})"
+            ) from None
+
+
+class _Retryable(Exception):
+    """Internal: a 503 refusal, with the server's Retry-After if given."""
+
+    def __init__(self, message: str, retry_after: float | None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

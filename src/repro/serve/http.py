@@ -8,6 +8,8 @@ exactly what forms the K-lane batches.
 Endpoints::
 
     GET  /healthz            -> {"status": "ok", ...}
+    GET  /healthz/live       -> 200 while the process serves at all
+    GET  /healthz/ready      -> 200 routable / 503 draining|bootstrapping
     GET  /graphs             -> hosted graphs (name, sizes, source)
     GET  /stats              -> service/scheduler/cache counters
     POST /query/bfs          {"graph": "g", "root": 0, "top": 10}
@@ -16,6 +18,15 @@ Endpoints::
                               "iterations": 30, "top": 20}
     POST /graphs/{name}/edges  {"insert": [[u, v], [u, v, w], ...],
                                 "delete": [[u, v], ...]}
+    GET  /replication/{name}/status    -> leader cursor metadata
+    GET  /replication/{name}/log?offset=&generation=&timeout=
+         -> raw delta-log frames (200), nothing new (204),
+            stale cursor (409) — see repro.serve.replication
+    GET  /replication/{name}/snapshot  -> the bootstrap .gmsnap bytes
+
+The liveness/readiness split exists for load balancers: a draining
+server (SIGTERM received, admitted work still finishing) is *live* but
+not *ready* — routers drop it from rotation without killing it.
 
 Mutations (``/graphs/{name}/edges``) apply one batched delta to the
 hosted graph — see ``docs/DYNAMIC.md`` — returning the new epoch and
@@ -37,26 +48,37 @@ from __future__ import annotations
 
 import json
 import re
+import threading
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 
 from repro import __version__
 from repro.algorithms.adapters import get_adapter
 from repro.errors import (
     BadQueryError,
     GraphError,
+    ReadOnlyServiceError,
     ReproError,
+    ServeError,
+    ServiceDrainingError,
     ServiceOverloadedError,
+    StaleReadError,
     UnknownGraphError,
 )
 from repro.serve.service import GraphService
 
 _MUTATE_PATH = re.compile(r"^/graphs/([^/]+)/edges$")
+_REPL_PATH = re.compile(r"^/replication/([^/]+)/(status|log|snapshot)$")
 
 #: Largest accepted request body; queries are small, anything bigger is
 #: a client error (or abuse), not a graph query.
 MAX_BODY_BYTES = 1 << 20
 #: ``Retry-After`` seconds suggested on 503 shed responses.
 RETRY_AFTER_SECONDS = 1
+#: Server-side cap on one replication long-poll, seconds.
+MAX_POLL_SECONDS = 30.0
 
 
 class ServeHandler(BaseHTTPRequestHandler):
@@ -82,31 +104,158 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_bytes(
+        self, status: int, data: bytes, headers: dict | None = None
+    ) -> None:
+        """A raw octet-stream response (replication frames, snapshots)."""
+        self.send_response(status)
+        if status != 204:
+            self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if data:
+            self.wfile.write(data)
+
     def _error(self, status: int, message: str, headers: dict | None = None):
         self._reply(status, {"error": message}, headers)
 
     # -- GET -------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — http.server API
+        with self.server.track_request():
+            self._do_get()
+
+    def _do_get(self) -> None:
         service = self.server.service
-        if self.path == "/healthz":
+        path, _, raw_query = self.path.partition("?")
+        replication = _REPL_PATH.match(path)
+        if path == "/healthz":
+            ready, reason = self._readiness()
             self._reply(
                 200,
                 {
-                    "status": "ok",
+                    "status": "ok" if ready else reason,
                     "version": __version__,
                     "graphs": len(service.registry),
                     "pending": service.pending,
+                    "draining": service.draining,
+                    "read_only": service.read_only,
                 },
             )
-        elif self.path == "/graphs":
+        elif path == "/healthz/live":
+            # Live the whole way down a drain: finishing admitted work
+            # is not a reason for the supervisor to SIGKILL us.
+            self._reply(200, {"status": "live"})
+        elif path == "/healthz/ready":
+            ready, reason = self._readiness()
+            self._reply(
+                200 if ready else 503,
+                {"status": "ready" if ready else reason},
+                None if ready else {"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        elif path == "/graphs":
             self._reply(200, {"graphs": service.registry.describe()})
-        elif self.path == "/stats":
-            self._reply(200, service.stats())
+        elif path == "/stats":
+            stats = service.stats()
+            follower = getattr(self.server, "follower", None)
+            if follower is not None:
+                stats["replication"] = follower.status()
+            self._reply(200, stats)
+        elif replication is not None:
+            self._handle_replication(
+                replication.group(1),
+                replication.group(2),
+                urllib.parse.parse_qs(raw_query),
+            )
         else:
             self._error(404, f"unknown path {self.path!r}")
 
+    def _readiness(self) -> tuple[bool, str]:
+        ready, reason = self.server.service.ready()
+        follower = getattr(self.server, "follower", None)
+        if ready and follower is not None:
+            ready, reason = follower.ready()
+        return ready, reason
+
+    # -- replication (leader side) ---------------------------------------
+    def _handle_replication(
+        self, graph_name: str, action: str, params: dict
+    ) -> None:
+        service = self.server.service
+        graph_name = urllib.parse.unquote(graph_name)
+        try:
+            if action == "status":
+                self._reply(200, service.replication_status(graph_name))
+            elif action == "log":
+                self._handle_replication_log(graph_name, params)
+            else:
+                self._handle_replication_snapshot(graph_name)
+        except UnknownGraphError as exc:
+            self._error(404, f"unknown graph {exc.args[0]!r}")
+        except (BadQueryError, ValueError) as exc:
+            self._error(400, str(exc))
+        except ServeError as exc:
+            # e.g. a leader without a delta_log_dir cannot replicate.
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _handle_replication_log(self, graph_name: str, params: dict) -> None:
+        offset = int(params.get("offset", ["0"])[0])
+        generation = int(params.get("generation", ["0"])[0])
+        timeout = min(
+            float(params.get("timeout", ["10"])[0]), MAX_POLL_SECONDS
+        )
+        data, next_offset, status = self.server.service.wait_for_log(
+            graph_name, offset, generation, timeout
+        )
+        headers = {
+            "X-Repro-Epoch": str(status["epoch"]),
+            "X-Repro-Generation": str(status["generation"]),
+            "X-Repro-Log-Bytes": str(status["log_bytes"]),
+            "X-Repro-Next-Offset": str(next_offset),
+        }
+        if data is None:
+            self._reply(
+                409,
+                {
+                    "error": (
+                        f"stale replication cursor for {graph_name!r} "
+                        f"(generation {generation}, offset {offset}); "
+                        f"reinstall from the snapshot"
+                    ),
+                    **status,
+                },
+                headers,
+            )
+        elif not data:
+            self._reply_bytes(204, b"", headers)
+        else:
+            self._reply_bytes(200, data, headers)
+
+    def _handle_replication_snapshot(self, graph_name: str) -> None:
+        source = self.server.service.snapshot_source(graph_name)
+        if source is None:
+            self._error(
+                404, f"graph {graph_name!r} has no snapshot to bootstrap from"
+            )
+            return
+        data = Path(source["path"]).read_bytes()
+        status = self.server.service.replication_status(graph_name)
+        self._reply_bytes(
+            200,
+            data,
+            {
+                "X-Repro-Epoch": str(source["epoch"]),
+                "X-Repro-Generation": str(status["generation"]),
+            },
+        )
+
     # -- POST ------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 — http.server API
+        with self.server.track_request():
+            self._do_post()
+
+    def _do_post(self) -> None:
         # Consume the body before any reply: an unread body left on a
         # keep-alive connection would be parsed as the next request
         # line.  When the body is unreadable (oversized, absent), close
@@ -130,10 +279,15 @@ class ServeHandler(BaseHTTPRequestHandler):
                 raise BadQueryError("body must name a 'graph' (string)")
             top, vertices = self._payload_bounds(body)
             adapter = get_adapter(kind)  # 404 for unknown kinds, below
+            follower = getattr(self.server, "follower", None)
+            if follower is not None:
+                follower.check_read(graph_name)
             result = self.server.service.query(graph_name, kind, body)
         except UnknownGraphError as exc:
             self._error(404, f"unknown graph {exc.args[0]!r}")
-        except ServiceOverloadedError as exc:
+        except (
+            ServiceOverloadedError, ServiceDrainingError, StaleReadError
+        ) as exc:
             self._error(
                 503, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)}
             )
@@ -178,6 +332,12 @@ class ServeHandler(BaseHTTPRequestHandler):
             )
         except UnknownGraphError as exc:
             self._error(404, f"unknown graph {exc.args[0]!r}")
+        except ReadOnlyServiceError as exc:
+            self._error(403, str(exc))
+        except ServiceDrainingError as exc:
+            self._error(
+                503, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)}
+            )
         except (BadQueryError, GraphError) as exc:
             # GraphError: out-of-range vertex ids, bad weight dtype —
             # the client's fault, not the service's.
@@ -292,13 +452,54 @@ def _parse_edge_rows(rows, *, weights: bool):
 
 
 class GraphHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`GraphService`."""
+    """A threading HTTP server bound to one :class:`GraphService`.
+
+    Tracks in-flight request handlers so a graceful shutdown can wait
+    for them: ``server.shutdown()`` only stops *accepting*; the
+    connection threads it already spawned are still inside handlers.
+    The drain sequence is ``shutdown()`` -> :meth:`wait_idle` ->
+    ``service.close()`` — admitted requests run to completion, then the
+    scheduler drains, then the logs are synced.
+    """
 
     daemon_threads = True
 
     def __init__(self, address: tuple[str, int], service: GraphService) -> None:
         super().__init__(address, ServeHandler)
         self.service = service
+        #: Set by the CLI in follower mode; gates reads on staleness.
+        self.follower = None
+        self._inflight = 0
+        self._idle = threading.Condition()
+
+    def track_request(self):
+        return _InflightGuard(self)
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no request handler is running (True) or timeout."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+
+class _InflightGuard:
+    def __init__(self, server: GraphHTTPServer) -> None:
+        self._server = server
+
+    def __enter__(self) -> None:
+        with self._server._idle:
+            self._server._inflight += 1
+
+    def __exit__(self, *exc) -> None:
+        with self._server._idle:
+            self._server._inflight -= 1
+            if self._server._inflight == 0:
+                self._server._idle.notify_all()
 
 
 def make_server(

@@ -44,6 +44,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
+from repro import faults
 from repro.errors import ServeError, ServiceOverloadedError
 
 
@@ -296,6 +297,7 @@ class MicroBatcher:
             # Execute outside the lock: submits keep flowing (and queue
             # up the next batch) while the engine sweeps this one.
             try:
+                faults.crash_point("serve.dispatch.before")
                 self._execute(group, tickets)
             except BaseException as exc:  # noqa: BLE001 — futures carry it
                 for ticket in tickets:

@@ -31,6 +31,7 @@ through ``EngineOptions.backend``).
 
 from __future__ import annotations
 
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -43,13 +44,18 @@ from repro.algorithms.adapters import QueryAdapter, get_adapter
 from repro.core.engine import BatchRun, run_graph_programs_batched
 from repro.core.options import DEFAULT_OPTIONS, EngineOptions
 from repro.dynamic import DeltaGraph
-from repro.errors import ServeError
+from repro.errors import (
+    ReadOnlyServiceError,
+    ServeError,
+    ServiceDrainingError,
+)
 from repro.graph.graph import Graph
 from repro.serve.cache import ResultCache
 from repro.serve.registry import GraphRegistry
 from repro.serve.scheduler import BatchPolicy, MicroBatcher, Ticket
 from repro.store.delta_log import (
     DELTA_LOG_SUFFIX,
+    LOG_START,
     DeltaLog,
     compact_delta_graph,
 )
@@ -152,6 +158,8 @@ class GraphService:
         cache: ResultCache | None = None,
         delta_log_dir: str | Path | None = None,
         compact_threshold: float = 0.25,
+        fsync: bool = False,
+        read_only: bool = False,
     ) -> None:
         if not 0.0 < compact_threshold:
             raise ServeError(
@@ -168,10 +176,28 @@ class GraphService:
         #: Overlay size (fraction of the base edge count) that triggers
         #: compaction back into a plain graph / fresh snapshot.
         self.compact_threshold = float(compact_threshold)
+        #: fsync every delta-log append before acknowledging a mutation
+        #: (power-loss durability; SIGKILL durability needs only the
+        #: default flush).  Per-mutation overrides via ``mutate(...,
+        #: durable=...)``.
+        self.fsync = bool(fsync)
+        #: Read-only services (replication followers) reject ``mutate``.
+        self.read_only = bool(read_only)
         self._batcher = MicroBatcher(self._execute_batch, policy)
         self._lock = threading.Lock()
         self._mutate_lock = threading.Lock()
+        self._logs_lock = threading.Lock()
         self._delta_logs: dict[str, DeltaLog] = {}
+        self._draining = threading.Event()
+        #: Notified after every committed mutation — replication
+        #: long-polls wait on it instead of busy-reading the log.
+        self._repl_cond = threading.Condition()
+        #: Per-graph replication generation: the epoch of the last
+        #: compaction (0 = never compacted).  A follower whose cursor
+        #: was built against another generation must reinstall the
+        #: snapshot (catch-up-then-swap) before tailing again.
+        self._generation: dict[str, int] = {}
+        self._torn_bytes_dropped = 0
         self._started_at = time.time()
         self._queries = 0
         self._kind_counts: dict[str, int] = {}
@@ -216,6 +242,10 @@ class GraphService:
         whatever the engine raised for the serving batch.
         """
         t0 = time.perf_counter()
+        if self._draining.is_set():
+            raise ServiceDrainingError(
+                "service is draining for shutdown; retry another replica"
+            )
         adapter = get_adapter(kind)
         # One registry read pins this query to a consistent (graph
         # object, epoch) pair: a concurrent mutation swaps the entry but
@@ -283,6 +313,8 @@ class GraphService:
         graph_name: str,
         inserts: tuple | None = None,
         deletes: tuple | None = None,
+        *,
+        durable: bool | None = None,
     ) -> dict:
         """Apply one batch of edge insertions/deletions to a hosted graph.
 
@@ -295,8 +327,22 @@ class GraphService:
         Cached results of earlier epochs stop matching automatically
         (the cache key carries the epoch).
 
+        ``durable`` overrides the service's ``fsync`` default for this
+        one batch: ``True`` fsyncs the log append before acknowledging
+        (power-loss durability), ``False`` skips the fsync even on an
+        fsync-default service.
+
         Returns a JSON-ready summary of what was applied.
         """
+        if self.read_only:
+            raise ReadOnlyServiceError(
+                f"graph {graph_name!r} is served by a read-only replica; "
+                f"send mutations to the leader"
+            )
+        if self._draining.is_set():
+            raise ServiceDrainingError(
+                "service is draining for shutdown; mutation not admitted"
+            )
         with self._mutate_lock:
             entry = self.registry.entry(graph_name)
             graph = entry.graph
@@ -308,7 +354,7 @@ class GraphService:
             epoch = entry.epoch + 1
             log = self._delta_log(graph_name)
             if log is not None:
-                log.append(inserts, deletes, epoch=epoch)
+                log.append(inserts, deletes, epoch=epoch, sync=durable)
             compacted = False
             source = None
             if new_graph.delta_fraction >= self.compact_threshold:
@@ -328,6 +374,7 @@ class GraphService:
                 else:
                     new_graph = new_graph.to_graph()
                 compacted = True
+                self._generation[graph_name] = epoch
             entry = self.registry.swap(
                 graph_name, new_graph, epoch=epoch, source=source
             )
@@ -336,9 +383,15 @@ class GraphService:
                 self._edges_inserted += batch.n_inserted
                 self._edges_deleted += batch.n_deleted
                 self._compactions += int(compacted)
+        with self._repl_cond:
+            self._repl_cond.notify_all()
         return {
             "graph": graph_name,
             "epoch": epoch,
+            "durable": bool(
+                (durable if durable is not None else self.fsync)
+                and log is not None
+            ),
             "n_edges": int(new_graph.n_edges),
             "compacted": compacted,
             "delta_edges": int(getattr(new_graph, "delta_edges", 0)),
@@ -348,13 +401,25 @@ class GraphService:
     def _delta_log(self, graph_name: str) -> DeltaLog | None:
         if self.delta_log_dir is None:
             return None
-        log = self._delta_logs.get(graph_name)
-        if log is None:
-            log = DeltaLog(
-                self.delta_log_dir / f"{graph_name}{DELTA_LOG_SUFFIX}"
-            )
-            self._delta_logs[graph_name] = log
+        with self._logs_lock:
+            log = self._delta_logs.get(graph_name)
+            if log is None:
+                log = DeltaLog(
+                    self.delta_log_dir / f"{graph_name}{DELTA_LOG_SUFFIX}",
+                    fsync=self.fsync,
+                )
+                self._delta_logs[graph_name] = log
         return log
+
+    def _latest_compacted(self, graph_name: str) -> tuple[int, Path] | None:
+        """The newest ``{name}-epoch{N}.gmsnap`` compaction, if any."""
+        pattern = re.compile(re.escape(graph_name) + r"-epoch(\d+)\.gmsnap$")
+        compacted = [
+            (int(match.group(1)), path)
+            for path in self.delta_log_dir.glob(f"{graph_name}-epoch*.gmsnap")
+            if (match := pattern.search(path.name)) is not None
+        ]
+        return max(compacted) if compacted else None
 
     def _recover(self, graph_name: str) -> None:
         """Bring a freshly registered graph up to its durable state.
@@ -366,34 +431,37 @@ class GraphService:
         present, replays (b) on top (a torn trailing record — a crash
         mid-append — is dropped: that batch was never acknowledged),
         and resumes epoch numbering where the log left off, so restart
-        neither loses acknowledged mutations nor resets epochs.
+        neither loses acknowledged mutations nor resets epochs.  A torn
+        trailing record is also *truncated away* (:meth:`DeltaLog.repair`)
+        so post-recovery appends land on a clean tail instead of behind
+        unreachable garbage.
         """
-        import re
-
         from repro.store.snapshot import load_snapshot
 
         entry = self.registry.entry(graph_name)
         graph: Graph = entry.graph
         epoch = entry.epoch
         source = None
-        pattern = re.compile(
-            re.escape(graph_name) + r"-epoch(\d+)\.gmsnap$"
-        )
-        compacted = [
-            (int(match.group(1)), path)
-            for path in self.delta_log_dir.glob(f"{graph_name}-epoch*.gmsnap")
-            if (match := pattern.search(path.name)) is not None
-        ]
-        if compacted:
-            epoch, path = max(compacted)
+        compacted = self._latest_compacted(graph_name)
+        if compacted is not None:
+            epoch, path = compacted
             graph = load_snapshot(path)
             source = str(path)
+        self._generation[graph_name] = epoch
         log_path = self.delta_log_dir / f"{graph_name}{DELTA_LOG_SUFFIX}"
         replayed = 0
         if log_path.exists():
-            log = DeltaLog(log_path)
-            self._delta_logs[graph_name] = log
-            batches = log.replay(strict=False)
+            log = DeltaLog(log_path, fsync=self.fsync)
+            with self._logs_lock:
+                self._delta_logs[graph_name] = log
+            self._torn_bytes_dropped += log.repair()
+            # Batches at or below the compacted epoch are already folded
+            # into the snapshot (the crash-between-snapshot-and-truncate
+            # window leaves them in the log); replaying them would be
+            # state-idempotent but bloats the overlay for nothing.
+            batches = [
+                b for b in log.replay(strict=False) if b.epoch > epoch
+            ]
             if batches:
                 overlay = (
                     graph
@@ -410,6 +478,95 @@ class GraphService:
         if graph is not entry.graph:
             self.registry.swap(graph_name, graph, epoch=epoch, source=source)
         self._recovered_batches += replayed
+
+    # ------------------------------------------------------------------
+    # Replication (leader side): log tailing + snapshot hand-off
+    # ------------------------------------------------------------------
+    def replication_status(self, graph_name: str) -> dict:
+        """Where the leader's durable state stands for one graph.
+
+        ``generation`` is the epoch of the last compaction (0 = never):
+        log byte offsets are only meaningful *within* a generation,
+        because compaction truncates the log.  ``log_bytes`` is the
+        current end-of-log offset a fresh follower should tail from
+        after installing the snapshot.
+        """
+        if self.delta_log_dir is None:
+            raise ServeError(
+                "replication requires a delta_log_dir (durable leader)"
+            )
+        entry = self.registry.entry(graph_name)
+        log = self._delta_log(graph_name)
+        return {
+            "graph": graph_name,
+            "epoch": entry.epoch,
+            "generation": self._generation.get(graph_name, 0),
+            "log_bytes": log.nbytes,
+            "fsync": self.fsync,
+        }
+
+    def wait_for_log(
+        self,
+        graph_name: str,
+        offset: int,
+        generation: int,
+        timeout: float = 10.0,
+    ) -> tuple[bytes | None, int, dict]:
+        """Long-poll the delta log from ``offset`` within ``generation``.
+
+        Returns ``(data, next_offset, status)``:
+
+        - ``data`` is raw CRC-framed log bytes (one or more whole
+          frames) when new records exist — the follower appends them to
+          its own log and applies the batches;
+        - ``data == b""`` when the timeout elapsed with nothing new
+          (the follower just polls again);
+        - ``data is None`` when the cursor is invalid — generation
+          mismatch (the leader compacted) or an offset past the end of
+          the log (a leader that crashed and lost an unsynced tail).
+          The follower must reinstall the snapshot (catch-up-then-swap)
+          and restart its cursor from the fresh ``status``.
+        """
+        log = self._delta_log(graph_name)
+        offset = max(int(offset), LOG_START)
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        while True:
+            status = self.replication_status(graph_name)
+            if (
+                int(generation) != status["generation"]
+                or offset > status["log_bytes"]
+            ):
+                return None, LOG_START, status
+            data, next_offset = log.read_intact(offset)
+            if data:
+                return data, next_offset, status
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or self._draining.is_set():
+                return b"", offset, status
+            # Wake on commit notifications; cap the wait so a draining
+            # leader releases long-pollers promptly.
+            with self._repl_cond:
+                self._repl_cond.wait(timeout=min(remaining, 0.5))
+
+    def snapshot_source(self, graph_name: str) -> dict | None:
+        """The snapshot a bootstrapping follower should install.
+
+        The latest compacted snapshot when one exists, else the graph's
+        original source snapshot (epoch 0), else ``None`` (a memory-only
+        graph: the follower replays the log from scratch).
+        """
+        if self.delta_log_dir is None:
+            raise ServeError(
+                "replication requires a delta_log_dir (durable leader)"
+            )
+        compacted = self._latest_compacted(graph_name)
+        if compacted is not None:
+            epoch, path = compacted
+            return {"path": str(path), "epoch": epoch}
+        entry = self.registry.entry(graph_name)
+        if entry.source and Path(entry.source).exists():
+            return {"path": str(entry.source), "epoch": 0}
+        return None
 
     # ------------------------------------------------------------------
     # Dispatch path (the batcher's thread)
@@ -456,6 +613,9 @@ class GraphService:
         with self._lock:
             service = {
                 "uptime_seconds": time.time() - self._started_at,
+                "draining": self._draining.is_set(),
+                "read_only": self.read_only,
+                "fsync": self.fsync,
                 "queries": self._queries,
                 "queries_by_kind": dict(self._kind_counts),
                 "errors": self._errors,
@@ -471,6 +631,8 @@ class GraphService:
                     "edges_deleted": self._edges_deleted,
                     "compactions": self._compactions,
                     "compact_threshold": self.compact_threshold,
+                    "torn_bytes_dropped": self._torn_bytes_dropped,
+                    "generations": dict(self._generation),
                     "delta_log_dir": (
                         str(self.delta_log_dir)
                         if self.delta_log_dir is not None
@@ -488,9 +650,47 @@ class GraphService:
         service["graphs"] = self.registry.describe()
         return service
 
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def ready(self) -> tuple[bool, str]:
+        """Readiness (should a load balancer route here?): bool + reason.
+
+        Liveness is a different question — a draining service is alive
+        (it is finishing admitted work) but not ready (it admits
+        nothing new).  The HTTP layer serves them on separate endpoints.
+        """
+        if self._draining.is_set():
+            return False, "draining"
+        return True, "ok"
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; already-admitted requests still complete."""
+        self._draining.set()
+        # Release replication long-pollers promptly: followers see the
+        # empty read and fail over instead of hanging on a dying leader.
+        with self._repl_cond:
+            self._repl_cond.notify_all()
+
     def close(self) -> None:
-        """Drain queued queries and stop the dispatcher."""
+        """Graceful shutdown, in dependency order.
+
+        1. Stop admission (new queries/mutations get
+           :class:`~repro.errors.ServiceDrainingError` -> 503).
+        2. Drain the micro-batcher: every admitted ticket executes and
+           resolves before the dispatcher exits.
+        3. fsync every delta log, so each *acknowledged* mutation is on
+           disk even when the service ran with ``fsync=False``.
+
+        Idempotent; ``__exit__`` and the SIGTERM handler both land here.
+        """
+        self.begin_drain()
         self._batcher.close()
+        with self._logs_lock:
+            logs = list(self._delta_logs.values())
+        for log in logs:
+            log.sync()
 
     def __enter__(self) -> "GraphService":
         return self

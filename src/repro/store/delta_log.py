@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.errors import IOFormatError
 from repro.dynamic.delta_graph import DeltaGraph
 from repro.graph.graph import Graph
@@ -39,6 +40,9 @@ from repro.graph.graph import Graph
 DELTA_LOG_MAGIC = b"GMDELTA1"
 #: Suffix conventionally used for delta log files.
 DELTA_LOG_SUFFIX = ".gmdelta"
+#: Byte offset of the first record (right after the magic) — the
+#: starting cursor of a replication follower.
+LOG_START = len(DELTA_LOG_MAGIC)
 
 _LEN = struct.Struct("<Q")
 _CRC = struct.Struct("<I")
@@ -73,6 +77,29 @@ class LoggedBatch:
         return (self.del_src, self.del_dst)
 
 
+def iter_frames(data: bytes, pos: int = 0):
+    """Yield ``(payload, end_offset)`` for each intact record in ``data``.
+
+    Stops (without raising) at the first torn or checksum-corrupt frame
+    — the shared scanner under :meth:`DeltaLog.replay`,
+    :meth:`DeltaLog.read_intact` (the replication stream) and
+    :meth:`DeltaLog.repair`.
+    """
+    while pos < len(data):
+        if pos + _LEN.size > len(data):
+            return
+        (length,) = _LEN.unpack_from(data, pos)
+        end = pos + _LEN.size + length + _CRC.size
+        if end > len(data):
+            return
+        payload = data[pos + _LEN.size : pos + _LEN.size + length]
+        (crc,) = _CRC.unpack_from(data, pos + _LEN.size + length)
+        if zlib.crc32(payload) != crc:
+            return
+        yield payload, end
+        pos = end
+
+
 def _as_1d(arr, dtype=None) -> np.ndarray:
     out = np.atleast_1d(np.asarray(arr))
     if dtype is not None:
@@ -104,13 +131,16 @@ class DeltaLog:
         *,
         epoch: int,
         meta: dict | None = None,
+        sync: bool | None = None,
     ) -> int:
         """Append one batch; returns the record's byte offset.
 
         ``inserts``/``deletes`` follow the
         :meth:`~repro.dynamic.delta_graph.DeltaGraph.apply_delta`
         conventions; the *requested* batch is logged (replay re-derives
-        the effective one through ``apply_delta``).
+        the effective one through ``apply_delta``).  ``sync`` overrides
+        the log's ``fsync`` default for this one record (a per-mutation
+        durability ack).
         """
         empty_i = np.zeros(0, dtype=np.int64)
         if inserts is None:
@@ -157,16 +187,32 @@ class DeltaLog:
             _LEN.pack(len(payload)) + payload
             + _CRC.pack(zlib.crc32(payload))
         )
+        faults.crash_point("delta_log.append.before")
         with open(self.path, "ab") as fh:
             offset = fh.tell()
+            if faults.armed("delta_log.append.torn"):
+                # The torn-tail crash: half a record reaches the file,
+                # then the process dies.  crash_point never returns.
+                fh.write(record[: max(1, len(record) // 2)])
+                fh.flush()
+                faults.crash_point("delta_log.append.torn")
             fh.write(record)
             fh.flush()
-            if self.fsync:
+            if sync if sync is not None else self.fsync:
                 os.fsync(fh.fileno())
+        faults.crash_point("delta_log.append.after")
         return offset
+
+    def sync(self) -> None:
+        """fsync the log file (shutdown drain / durability-ack path)."""
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as fh:
+            os.fsync(fh.fileno())
 
     def truncate(self) -> None:
         """Drop every record (after a compaction); the file keeps its magic."""
+        faults.crash_point("delta_log.truncate.before")
         with open(self.path, "wb") as fh:
             fh.write(DELTA_LOG_MAGIC)
             fh.flush()
@@ -188,50 +234,66 @@ class DeltaLog:
         if not data.startswith(DELTA_LOG_MAGIC):
             raise IOFormatError(f"{self.path}: not a delta log (bad magic)")
         batches: list[LoggedBatch] = []
-        pos = len(DELTA_LOG_MAGIC)
-        while pos < len(data):
-            frame_ok = pos + _LEN.size <= len(data)
-            if frame_ok:
-                (length,) = _LEN.unpack_from(data, pos)
-                end = pos + _LEN.size + length + _CRC.size
-                frame_ok = end <= len(data)
-            if not frame_ok:
-                if strict:
-                    raise IOFormatError(
-                        f"{self.path}: torn record at byte {pos} "
-                        f"(use strict=False to recover the intact prefix)"
-                    )
-                break
-            payload = data[pos + _LEN.size : pos + _LEN.size + length]
-            (crc,) = _CRC.unpack_from(data, pos + _LEN.size + length)
-            if zlib.crc32(payload) != crc:
-                if strict:
-                    raise IOFormatError(
-                        f"{self.path}: checksum mismatch at byte {pos}"
-                    )
-                break
+        pos = LOG_START
+        for payload, end in iter_frames(data, pos):
             batches.append(self._decode(payload))
             pos = end
+        if strict and pos != len(data):
+            raise IOFormatError(
+                f"{self.path}: torn or corrupt record at byte {pos} "
+                f"(use strict=False to recover the intact prefix)"
+            )
         return batches
+
+    def read_intact(self, offset: int | None = None) -> tuple[bytes, int]:
+        """Raw bytes of every intact record from ``offset`` onward.
+
+        Returns ``(frames, next_offset)``: ``frames`` holds only whole,
+        checksum-valid records (the unit a replication follower ships
+        and applies), ``next_offset`` is where the next read should
+        start.  A record being appended concurrently fails its CRC and
+        is simply excluded until the next read — the reader never blocks
+        the writer.
+        """
+        start = LOG_START if offset is None else max(LOG_START, int(offset))
+        with open(self.path, "rb") as fh:
+            magic = fh.read(LOG_START)
+            if magic != DELTA_LOG_MAGIC:
+                raise IOFormatError(
+                    f"{self.path}: not a delta log (bad magic)"
+                )
+            fh.seek(start)
+            data = fh.read()
+        end = 0
+        for _payload, frame_end in iter_frames(data, 0):
+            end = frame_end
+        return data[:end], start + end
+
+    def repair(self) -> int:
+        """Truncate a torn tail in place; returns the bytes dropped.
+
+        An append after a torn record would land *behind* garbage and be
+        unreachable to replay — recovery must cut the tail before the
+        log is written again (:meth:`GraphService._recover` does).
+        """
+        data = self.path.read_bytes()
+        if not data.startswith(DELTA_LOG_MAGIC):
+            raise IOFormatError(f"{self.path}: not a delta log (bad magic)")
+        pos = LOG_START
+        for _payload, end in iter_frames(data, pos):
+            pos = end
+        torn = len(data) - pos
+        if torn:
+            with open(self.path, "rb+") as fh:
+                fh.truncate(pos)
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+        return torn
 
     @staticmethod
     def _decode(payload: bytes) -> LoggedBatch:
-        newline = payload.index(b"\n")
-        header = json.loads(payload[:newline])
-        arrays = {}
-        offset = newline + 1
-        for spec in header["arrays"]:
-            dtype = np.dtype(spec["dtype"])
-            nbytes = dtype.itemsize * spec["length"]
-            arrays[spec["name"]] = np.frombuffer(
-                payload, dtype=dtype, count=spec["length"], offset=offset
-            )
-            offset += nbytes
-        return LoggedBatch(
-            epoch=int(header["epoch"]),
-            meta=header.get("meta", {}),
-            **{name: arrays[name] for name in _ARRAYS},
-        )
+        return decode_record(payload)
 
     def apply_to(self, base: Graph, *, strict: bool = True) -> DeltaGraph:
         """Replay the log over ``base``: the recovered overlay.
@@ -249,6 +311,30 @@ class DeltaLog:
     @property
     def nbytes(self) -> int:
         return self.path.stat().st_size if self.path.exists() else 0
+
+
+def decode_frames(data: bytes) -> list[LoggedBatch]:
+    """Decode a ``read_intact`` byte stream (replication wire format)."""
+    return [decode_record(payload) for payload, _end in iter_frames(data, 0)]
+
+
+def decode_record(payload: bytes) -> LoggedBatch:
+    newline = payload.index(b"\n")
+    header = json.loads(payload[:newline])
+    arrays = {}
+    offset = newline + 1
+    for spec in header["arrays"]:
+        dtype = np.dtype(spec["dtype"])
+        nbytes = dtype.itemsize * spec["length"]
+        arrays[spec["name"]] = np.frombuffer(
+            payload, dtype=dtype, count=spec["length"], offset=offset
+        )
+        offset += nbytes
+    return LoggedBatch(
+        epoch=int(header["epoch"]),
+        meta=header.get("meta", {}),
+        **{name: arrays[name] for name in _ARRAYS},
+    )
 
 
 # ----------------------------------------------------------------------
@@ -274,6 +360,7 @@ def compact_delta_graph(
     """
     from repro.store.snapshot import load_snapshot, save_snapshot
 
+    faults.crash_point("compact.before_snapshot")
     materialized = graph.to_graph()
     save_snapshot(
         materialized,
@@ -283,6 +370,7 @@ def compact_delta_graph(
         directions=directions,
         meta={"compacted_from_epoch": int(graph.epoch)},
     )
+    faults.crash_point("compact.after_snapshot")
     fresh = load_snapshot(snapshot_path)
     if log is not None:
         log.truncate()

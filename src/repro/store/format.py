@@ -46,6 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.errors import IOFormatError
 
 #: First bytes of every snapshot.  The \\x89 prefix (borrowed from PNG)
@@ -191,6 +192,7 @@ class SnapshotWriter:
             )
         )
         self._handle.close()
+        faults.crash_point("snapshot.before_rename")
         os.replace(self._tmp_path, self.path)
         self._closed = True
         return self.path

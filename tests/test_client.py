@@ -1,0 +1,172 @@
+"""ServeClient retry policy: deadlines, backoff, Retry-After, failover."""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import ClientError
+from repro.serve.client import ServeClient
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Replays a scripted list of (status, headers, body) responses."""
+
+    def _serve(self) -> None:
+        server = self.server
+        if self.command == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            server.requests.append((self.command, self.path, body))
+        else:
+            server.requests.append((self.command, self.path, b""))
+        with server.lock:
+            if server.script:
+                status, headers, payload = server.script.pop(0)
+            else:
+                status, headers, payload = 200, {}, b'{"ok": true}'
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = _serve
+    do_POST = _serve
+
+    def log_message(self, *args) -> None:  # noqa: A002
+        pass
+
+
+def _stub(script):
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.script = list(script)
+    server.requests = []
+    server.lock = threading.Lock()
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = "http://%s:%s" % server.server_address[:2]
+    return server, url
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(0)
+
+
+class TestRetries:
+    def test_plain_success(self, rng):
+        server, url = _stub([(200, {}, b'{"top": [[0, 0.0]]}')])
+        client = ServeClient(url, rng=rng)
+        assert client.query("g", "bfs", {"root": 0})["top"] == [[0, 0.0]]
+        server.shutdown()
+
+    def test_503_retries_and_honors_retry_after(self, rng):
+        server, url = _stub(
+            [
+                (503, {"Retry-After": "0.05"}, b'{"error": "draining"}'),
+                (503, {"Retry-After": "0.05"}, b'{"error": "draining"}'),
+                (200, {}, b'{"cached": false}'),
+            ]
+        )
+        client = ServeClient(url, timeout=5.0, retries=3, rng=rng)
+        t0 = time.monotonic()
+        assert client.query("g", "bfs", {"root": 0}) == {"cached": False}
+        elapsed = time.monotonic() - t0
+        assert len(server.requests) == 3
+        assert elapsed >= 0.1  # two Retry-After pauses were respected
+        server.shutdown()
+
+    def test_4xx_raises_immediately_without_retry(self, rng):
+        server, url = _stub([(400, {}, b'{"error": "bad root"}')])
+        client = ServeClient(url, retries=5, rng=rng)
+        with pytest.raises(ClientError, match="bad root"):
+            client.query("g", "bfs", {"root": -1})
+        assert len(server.requests) == 1
+        server.shutdown()
+
+    def test_retry_budget_exhausts(self, rng):
+        server, url = _stub(
+            [(503, {"Retry-After": "0"}, b'{"error": "full"}')] * 4
+        )
+        client = ServeClient(url, retries=2, rng=rng)
+        with pytest.raises(ClientError, match="after 3 attempt"):
+            client.query("g", "bfs", {"root": 0})
+        assert len(server.requests) == 3  # 1 + retries
+        server.shutdown()
+
+    def test_deadline_bounds_the_whole_call(self, rng):
+        server, url = _stub(
+            [(503, {"Retry-After": "30"}, b'{"error": "draining"}')] * 3
+        )
+        client = ServeClient(url, retries=5, rng=rng)
+        t0 = time.monotonic()
+        with pytest.raises(ClientError):
+            client.query("g", "bfs", {"root": 0}, deadline=0.3)
+        assert time.monotonic() - t0 < 5.0  # did not sleep the full 30 s
+        server.shutdown()
+
+
+class TestFailover:
+    def test_read_fails_over_to_follower(self, rng):
+        follower, furl = _stub([(200, {}, b'{"from": "follower"}')])
+        # Leader URL points at a port nothing listens on.
+        client = ServeClient(
+            "http://127.0.0.1:9", [furl], timeout=2.0, retries=2, rng=rng
+        )
+        assert client.query("g", "bfs", {"root": 0}) == {"from": "follower"}
+        assert len(follower.requests) == 1
+        follower.shutdown()
+
+    def test_draining_leader_fails_over(self, rng):
+        leader, lurl = _stub(
+            [(503, {"Retry-After": "0"}, b'{"error": "draining"}')]
+        )
+        follower, furl = _stub([(200, {}, b'{"from": "follower"}')])
+        client = ServeClient(lurl, [furl], retries=2, rng=rng)
+        assert client.query("g", "bfs", {"root": 0}) == {"from": "follower"}
+        leader.shutdown()
+        follower.shutdown()
+
+    def test_mutations_never_go_to_followers(self, rng):
+        leader, lurl = _stub(
+            [
+                (503, {"Retry-After": "0"}, b'{"error": "overloaded"}'),
+                (200, {}, b'{"epoch": 1}'),
+            ]
+        )
+        follower, furl = _stub([])
+        client = ServeClient(lurl, [furl], retries=3, rng=rng)
+        assert client.mutate("g", insert=[[0, 1]])["epoch"] == 1
+        assert len(leader.requests) == 2
+        assert follower.requests == []  # writes are leader-only
+        leader.shutdown()
+        follower.shutdown()
+
+    def test_mutation_transport_failure_is_not_resent(self, rng):
+        client = ServeClient(
+            "http://127.0.0.1:9", timeout=1.0, retries=5, rng=rng
+        )
+        with pytest.raises(ClientError, match="may have been applied"):
+            client.mutate("g", insert=[[0, 1]])
+
+    def test_ready_probe(self, rng):
+        server, url = _stub([(200, {}, b'{"status": "ready"}')])
+        client = ServeClient(url, rng=rng)
+        assert client.ready() is True
+        assert client.ready("http://127.0.0.1:9") is False
+        server.shutdown()
+
+
+class TestBackoff:
+    def test_full_jitter_is_bounded(self):
+        client = ServeClient("http://x", rng=random.Random(42))
+        for attempt in range(8):
+            pause = client._backoff(attempt)
+            assert 0.0 <= pause <= min(2.0, 0.1 * 2**attempt)

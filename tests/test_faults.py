@@ -1,0 +1,305 @@
+"""In-process fault injection: crash-point semantics + torn-record recovery.
+
+The ``raise`` action lets these tests "crash" a durability path by
+unwinding the stack instead of the process, then inspect the on-disk
+aftermath directly.  The honest SIGKILL versions of the same windows
+live in ``tests/test_faults_harness.py`` (subprocess-based, ``-m
+faults``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.algorithms.bfs import run_bfs
+from repro.dynamic import DeltaGraph
+from repro.errors import IOFormatError, ReproError
+from repro.faults import CRASH_POINTS, InjectedFault
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.preprocess import symmetrize
+from repro.serve import GraphRegistry, GraphService
+from repro.store.delta_log import LOG_START, DeltaLog
+from repro.store.format import SnapshotWriter
+from repro.store.snapshot import save_snapshot
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """No test leaks armed crash points into the next one."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+@pytest.fixture()
+def sym():
+    return symmetrize(rmat_graph(scale=6, edge_factor=8, seed=11))
+
+
+def _service(sym, tmp_path, **kwargs) -> GraphService:
+    registry = GraphRegistry()
+    registry.add_graph("g", sym)
+    kwargs.setdefault("delta_log_dir", tmp_path)
+    return GraphService(registry, **kwargs)
+
+
+def _reference(sym, tmp_path: Path):
+    """Independent replay of the surviving on-disk state (epoch, graph)."""
+    compacted = sorted(
+        (int(p.stem.rsplit("epoch", 1)[1]), p)
+        for p in tmp_path.glob("g-epoch*.gmsnap")
+    )
+    if compacted:
+        from repro.store.snapshot import load_snapshot
+
+        epoch, path = compacted[-1]
+        graph = load_snapshot(path)
+    else:
+        epoch, graph = 0, sym
+    log = DeltaLog(tmp_path / "g.gmdelta")
+    for batch in log.replay(strict=False):
+        if batch.epoch <= epoch:
+            continue
+        graph = graph if isinstance(graph, DeltaGraph) else DeltaGraph(graph)
+        graph = graph.apply_delta(batch.inserts(), batch.deletes())
+        epoch = batch.epoch
+    return epoch, graph
+
+
+class TestRegistry:
+    def test_parse_spec_roundtrip(self):
+        spec = "delta_log.append.torn=kill, compact.after_snapshot=raise"
+        assert faults.parse_spec(spec) == {
+            "delta_log.append.torn": "kill",
+            "compact.after_snapshot": "raise",
+        }
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["nonsense", "unknown.point=kill", "delta_log.append.torn=explode"],
+    )
+    def test_parse_spec_rejects(self, bad):
+        with pytest.raises(ReproError):
+            faults.parse_spec(bad)
+
+    def test_activate_deactivate(self):
+        assert not faults.enabled()
+        faults.activate("delta_log.append.before=raise")
+        assert faults.enabled()
+        assert faults.armed("delta_log.append.before")
+        assert not faults.armed("delta_log.append.after")
+        faults.deactivate()
+        assert not faults.enabled()
+        faults.crash_point("delta_log.append.before")  # disarmed: no-op
+
+    def test_fire_once_disarms(self):
+        faults.activate("serve.dispatch.before=raise")
+        with pytest.raises(InjectedFault):
+            faults.crash_point("serve.dispatch.before")
+        # The recovery path re-entering the same code must not re-crash.
+        faults.crash_point("serve.dispatch.before")
+        assert not faults.enabled()
+
+    def test_unarmed_point_is_untouched_while_others_fire(self):
+        faults.activate("compact.before_snapshot=raise")
+        faults.crash_point("delta_log.append.before")  # different point
+        assert faults.enabled()
+
+    def test_env_spec_loads(self, monkeypatch):
+        monkeypatch.setenv(faults.SPEC_ENV, "delta_log.truncate.before=raise")
+        faults._load_env()
+        assert faults.armed("delta_log.truncate.before")
+
+    def test_every_crash_point_is_wired(self):
+        """CRASH_POINTS and the instrumented call sites stay in sync."""
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        text = "\n".join(
+            p.read_text() for p in src.rglob("*.py") if p.name != "faults.py"
+        )
+        for point in CRASH_POINTS:
+            assert f'"{point}"' in text, f"crash point {point!r} is not wired"
+
+
+class TestTornRecords:
+    def test_torn_append_recovers_committed_prefix(self, tmp_path):
+        log = DeltaLog(tmp_path / "g.gmdelta")
+        log.append(([0], [1]), epoch=1)
+        log.append(([2], [3]), epoch=2)
+        faults.activate("delta_log.append.torn=raise")
+        with pytest.raises(InjectedFault):
+            log.append(([4], [5]), epoch=3)
+        # Strict replay refuses the torn tail; lenient replay returns
+        # exactly the two committed batches.
+        with pytest.raises(IOFormatError):
+            log.replay(strict=True)
+        assert [b.epoch for b in log.replay(strict=False)] == [1, 2]
+        # Repair cuts the tail so new appends are reachable again.
+        assert log.repair() > 0
+        log.append(([4], [5]), epoch=3)
+        assert [b.epoch for b in log.replay(strict=True)] == [1, 2, 3]
+
+    def test_append_before_loses_nothing_written(self, tmp_path):
+        log = DeltaLog(tmp_path / "g.gmdelta")
+        log.append(([0], [1]), epoch=1)
+        size = log.nbytes
+        faults.activate("delta_log.append.before=raise")
+        with pytest.raises(InjectedFault):
+            log.append(([2], [3]), epoch=2)
+        assert log.nbytes == size  # nothing reached the file
+        assert [b.epoch for b in log.replay(strict=True)] == [1]
+
+    def test_append_after_is_durable_but_unacked(self, tmp_path):
+        log = DeltaLog(tmp_path / "g.gmdelta")
+        faults.activate("delta_log.append.after=raise")
+        with pytest.raises(InjectedFault):
+            log.append(([0], [1]), epoch=1)
+        # The record is whole on disk: recovery may replay it (at-least-
+        # once for unacknowledged work is allowed; losing acked work is not).
+        assert [b.epoch for b in log.replay(strict=True)] == [1]
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.function_scoped_fixture, HealthCheck.too_slow,
+        ],
+    )
+    @given(cut=st.integers(min_value=0, max_value=400))
+    def test_truncation_at_any_byte_recovers_a_prefix(self, tmp_path, cut):
+        """SIGKILL can tear the tail at *any* byte, not just frame middles.
+
+        Whatever survives, lenient replay must return exactly the
+        batches whose frames are fully intact — a prefix, in order —
+        and repair + append must produce a valid log again.
+        """
+        path = tmp_path / f"cut{cut}.gmdelta"
+        path.unlink(missing_ok=True)
+        log = DeltaLog(path)
+        offsets = [log.append(([i], [i + 1]), epoch=i + 1) for i in range(4)]
+        offsets.append(log.nbytes)
+        data = path.read_bytes()
+        point = min(LOG_START + cut, len(data))
+        path.write_bytes(data[:point])
+        survivors = [b.epoch for b in log.replay(strict=False)]
+        # Exactly the batches whose whole frame fits before the cut.
+        expected = sum(1 for end in offsets[1:] if end <= point)
+        assert survivors == list(range(1, expected + 1))
+        log.repair()
+        log.append(([9], [9]), epoch=99)
+        assert [b.epoch for b in log.replay(strict=True)][-1] == 99
+
+    def test_snapshot_rename_crash_leaves_no_torn_file(self, sym, tmp_path):
+        target = tmp_path / "g.gmsnap"
+        save_snapshot(sym, target)
+        before = target.read_bytes()
+        faults.activate("snapshot.before_rename=raise")
+        with pytest.raises(InjectedFault):
+            save_snapshot(sym, target, meta={"attempt": 2})
+        # The old snapshot is untouched and no .tmp litter remains.
+        assert target.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_snapshot_writer_abort_path(self, tmp_path):
+        target = tmp_path / "x.gmsnap"
+        faults.activate("snapshot.before_rename=raise")
+        with pytest.raises(InjectedFault):
+            with SnapshotWriter(target) as writer:
+                writer.add_array("a", np.arange(4))
+                writer.close({"k": "v"})
+        assert not target.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestServiceCrashWindows:
+    """The compaction windows, crashed via ``raise`` and then recovered."""
+
+    def _mutate_until_fault(self, service, rng, n=64):
+        for _ in range(n):
+            src = rng.integers(0, 60, 6).tolist()
+            dst = rng.integers(0, 60, 6).tolist()
+            try:
+                service.mutate("g", inserts=(src, dst))
+            except InjectedFault:
+                return True
+        return False
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            "compact.before_snapshot",
+            "compact.after_snapshot",
+            "delta_log.truncate.before",
+            "snapshot.before_rename",
+        ],
+    )
+    def test_compaction_crash_then_recover_bitwise(self, sym, tmp_path, point):
+        service = _service(sym, tmp_path, compact_threshold=0.02)
+        rng = np.random.default_rng(3)
+        faults.activate({point: "raise"})
+        assert self._mutate_until_fault(service, rng), "fault never fired"
+        service.close()
+        # Recovery: a fresh service over the same directory must land on
+        # exactly the reference replay of the surviving durable state.
+        ref_epoch, ref_graph = _reference(sym, tmp_path)
+        recovered = _service(sym, tmp_path)
+        entry = recovered.registry.entry("g")
+        assert entry.epoch == ref_epoch
+        got = recovered.query("g", "bfs", {"root": 0}).values
+        want = run_bfs(ref_graph, 0).distances
+        assert np.array_equal(got, want, equal_nan=True)
+        recovered.close()
+
+    def test_recovery_skips_batches_already_compacted(self, sym, tmp_path):
+        """The crash-between-snapshot-and-truncate window double-counts
+        nothing: logged batches at or below the snapshot epoch are not
+        replayed into the overlay."""
+        service = _service(sym, tmp_path, compact_threshold=0.02)
+        rng = np.random.default_rng(4)
+        faults.activate({"delta_log.truncate.before": "raise"})
+        assert self._mutate_until_fault(service, rng)
+        service.close()
+        # The log still holds everything since the *previous* compaction,
+        # including batches the new snapshot already folded in.
+        snapshots = list(tmp_path.glob("g-epoch*.gmsnap"))
+        assert snapshots, "compaction should have written its snapshot"
+        recovered = _service(sym, tmp_path)
+        entry = recovered.registry.entry("g")
+        assert entry.epoch == _reference(sym, tmp_path)[0]
+        # No overlay bloat from re-applied batches: delta edges only from
+        # epochs above the snapshot.
+        mutations = recovered.stats()["mutations"]
+        assert mutations["generations"]["g"] > 0
+        recovered.close()
+
+    def test_torn_service_log_is_repaired_on_recovery(self, sym, tmp_path):
+        service = _service(sym, tmp_path)
+        service.mutate("g", inserts=([1], [2]))
+        faults.activate("delta_log.append.torn=raise")
+        with pytest.raises(InjectedFault):
+            service.mutate("g", inserts=([3], [4]))
+        service.close()
+        recovered = _service(sym, tmp_path)
+        assert recovered.stats()["mutations"]["torn_bytes_dropped"] > 0
+        assert recovered.registry.entry("g").epoch == 1
+        # The repaired tail accepts new appends and replay stays strict-valid.
+        recovered.mutate("g", inserts=([5], [6]))
+        log = DeltaLog(tmp_path / "g.gmdelta")
+        assert [b.epoch for b in log.replay(strict=True)] == [1, 2]
+        recovered.close()
+
+    def test_dispatch_crash_resolves_futures(self, sym, tmp_path):
+        """A raise at the dispatcher's crash point must not strand callers."""
+        service = _service(sym, tmp_path)
+        faults.activate("serve.dispatch.before=raise")
+        with pytest.raises(InjectedFault):
+            service.query("g", "bfs", {"root": 0}, timeout=10.0)
+        # Fire-once: the very next query succeeds.
+        result = service.query("g", "bfs", {"root": 0}, timeout=10.0)
+        assert result.values.shape[0] == sym.n_vertices
+        service.close()
