@@ -1,0 +1,74 @@
+"""Compiled-kernel tier: threaded NumPy vs jit vs jit-threaded.
+
+Emits ``BENCH_jit.json`` (repo root by default) recording PageRank
+time-per-iteration and BFS wall-clock for the best NumPy schedule
+(``threaded``) against the Numba tier's two backends, plus the tier's
+hard contracts: bitwise parity with the serial reference and (with
+numba installed) ``jit-*`` kernel attribution in the run stats.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_jit.py [--scale 16] [--out PATH]
+
+or as a pytest smoke test (small scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_jit.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.jit import acceptance_check, bench_jit, summarize, write_jit_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_jit.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=16,
+                        help="R-MAT scale (2**scale vertices)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--iterations", type=int, default=5,
+                        help="PageRank supersteps per run")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for all measured backends")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    record = bench_jit(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        pr_iterations=args.iterations,
+        repeats=args.repeats,
+        n_workers=args.workers,
+    )
+    path = write_jit_record(record, args.out)
+    print(summarize(record))
+    failures = acceptance_check(record)
+    for failure in failures:
+        print(f"ACCEPTANCE FAILURE: {failure}")
+    print(f"\nwrote {path}")
+    return 1 if failures else 0
+
+
+def test_jit_bench_smoke(tmp_path):
+    """Smoke run at a small scale: the record must be complete, parity
+    must hold bitwise, and (when numba is installed) the jit backends
+    must attribute work to compiled kernels — the machine-independent
+    acceptance invariants."""
+    record = bench_jit(scale=10, edge_factor=8, pr_iterations=3, repeats=1)
+    out = write_jit_record(record, tmp_path / "BENCH_jit.json")
+    assert out.exists()
+    for workload in ("pagerank", "bfs"):
+        for config in ("threaded", "jit", "jit-threaded"):
+            assert record[workload][config]["edges_processed"] > 0
+    assert acceptance_check(record) == []
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,9 @@ class PageRankProgram(GraphProgram):
     result_spec = FLOAT64
     property_spec = ValueSpec(np.dtype(np.float64), (2,))
     reduce_ufunc = np.add
+    # The process hook forwards the (pre-scaled) contribution unchanged
+    # and the fold is a plain sum — the compiled plus-first op.
+    jit_semiring = "plus-first"
 
     def __init__(self, r: float = 0.15, tolerance: float = 0.0) -> None:
         if not 0.0 <= r <= 1.0:
@@ -142,6 +145,7 @@ class PersonalizedPageRankProgram(GraphProgram):
     # message contributes exactly nothing to any sum.
     reduce_identity = 0.0
     reactivate_all = True
+    jit_semiring = "plus-first"
 
     def __init__(self, r: float = 0.15) -> None:
         if not 0.0 <= r <= 1.0:

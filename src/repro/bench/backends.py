@@ -227,6 +227,7 @@ def bench_backends(
 
 
 def write_backend_record(record: dict, path: str | Path) -> Path:
+    """Write the benchmark record as pretty-printed JSON; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
     return path

@@ -256,12 +256,14 @@ def _bench_replication_in(
 
 
 def write_replication_record(record: dict, path: str | Path) -> Path:
+    """Write the benchmark record as pretty-printed JSON; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
     return path
 
 
 def summarize_replication(record: dict) -> str:
+    """Human-readable digest of one benchmark record."""
     meta = record["meta"]
     lag = record["lag"]
     lines = [

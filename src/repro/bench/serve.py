@@ -388,12 +388,14 @@ def bench_serve(
 
 
 def write_serve_record(record: dict, path: str | Path) -> Path:
+    """Write the benchmark record as pretty-printed JSON; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
     return path
 
 
 def summarize(record: dict) -> str:
+    """Human-readable digest of one benchmark record."""
     meta = record["meta"]
     lines = [
         f"R-MAT scale {meta['scale']} ({meta['n_vertices']} vertices, "

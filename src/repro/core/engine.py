@@ -66,7 +66,6 @@ from repro.core.spmv import KernelThresholds, PartitionWork, spmv_scalar
 from repro.errors import ConvergenceError, ProgramError
 from repro.exec import (
     BatchWorkspace,
-    SerialExecutor,
     SuperstepWorkspace,
     create_executor,
 )
@@ -139,17 +138,21 @@ class RunStats:
 
     @property
     def n_supersteps(self) -> int:
+        """Number of BSP supersteps the run executed."""
         return len(self.iterations)
 
     @property
     def total_edges_processed(self) -> int:
+        """Edges folded across all supersteps (the SpMV work metric)."""
         return sum(it.edges_processed for it in self.iterations)
 
     @property
     def total_messages(self) -> int:
+        """Messages sent across all supersteps."""
         return sum(it.messages_sent for it in self.iterations)
 
     def seconds_per_iteration(self) -> float:
+        """Mean wall-clock seconds per superstep (0.0 for empty runs)."""
         if not self.iterations:
             return 0.0
         return self.total_seconds / len(self.iterations)
@@ -339,10 +342,13 @@ def run_graph_program(
             executor = create_executor(options)
             owns_executor = True
         if not executor.supports(program):
+            # The executor names its own substitute (jit-threaded keeps
+            # the threaded schedule; everything else drops to serial).
+            substitute = executor.fallback()
             if owns_executor:
                 executor.close()
-                owns_executor = False
-            executor = SerialExecutor(options.n_workers)
+            executor = substitute
+            owns_executor = True
 
     # -- Superstep workspace: reuse the caller's when its shape fits,
     # else build one for this run (still amortized over all supersteps).
@@ -566,10 +572,12 @@ class BatchRun:
 
     @property
     def n_lanes(self) -> int:
+        """Number of program instances the batch ran."""
         return len(self.lane_stats)
 
     @property
     def n_supersteps(self) -> int:
+        """Number of shared BSP supersteps (not per-lane)."""
         return len(self.iterations)
 
     @property
@@ -719,8 +727,9 @@ def run_graph_programs_batched(
     thresholds = KernelThresholds.from_options(options)
     executor = create_executor(options)
     if not executor.supports(program0):
+        substitute = executor.fallback()
         executor.close()
-        executor = SerialExecutor(options.n_workers)
+        executor = substitute
     # Process workers hold their own scratch (see Workspace).
     workspace = BatchWorkspace(
         n, n_lanes, program0, views, fused=executor.name != "process"

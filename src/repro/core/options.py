@@ -53,7 +53,13 @@ from repro.errors import ProgramError
 #: here (not imported from ``repro.exec``) so option validation stays
 #: dependency-free and fails at construction time, not deep inside the
 #: engine.  ``repro.exec.BACKENDS`` asserts the same set.
-KNOWN_BACKENDS: tuple[str, ...] = ("serial", "threaded", "process")
+KNOWN_BACKENDS: tuple[str, ...] = (
+    "serial",
+    "threaded",
+    "process",
+    "jit",
+    "jit-threaded",
+)
 
 
 @dataclass(frozen=True)
@@ -80,9 +86,12 @@ class EngineOptions:
     #: and Figure 5/7; cheap, but off by default for micro-benchmarks).
     record_partition_stats: bool = False
     #: Execution backend for the fused SpMV blocks (see ``repro.exec``):
-    #: ``"serial"``, ``"threaded"`` or ``"process"``.
+    #: ``"serial"``, ``"threaded"``, ``"process"``, or the compiled tier
+    #: ``"jit"`` / ``"jit-threaded"`` (Numba; falls back to serial NumPy
+    #: with a logged warning when Numba is unavailable).
     backend: str = "serial"
-    #: Worker count for the threaded/process backends (ignored by serial).
+    #: Worker count for the threaded/process backends (ignored by serial;
+    #: ``jit-threaded`` forwards it to Numba's thread pool when it can).
     n_workers: int = 1
     #: Keep the superstep message/result vectors and per-block scratch
     #: buffers alive across iterations, resetting them in place, instead

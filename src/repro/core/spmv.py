@@ -66,49 +66,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.graph_program import GraphProgram
+from repro.core.kernels import (  # noqa: F401  (re-exported: this was
+    DEFAULT_THRESHOLDS,  # the registry's home before repro.core.kernels)
+    DENSE_PULL_CROSSOVER,
+    KERNEL_DENSE,
+    KERNEL_NAMES,
+    KERNEL_SCALAR,
+    KERNEL_SPARSE,
+    SCALAR_KERNEL_MAX_EDGES,
+    KernelThresholds,
+    _has_scalar_hooks,
+    select_kernel,
+)
 from repro.matrix.partition import PartitionedMatrix
 from repro.vector.dense import PropertyArray
 from repro.vector.sparse_vector import BitvectorVector, SparseVector
-
-#: Kernel names recorded into PartitionWork / IterationStats.
-KERNEL_SCALAR = "scalar"
-KERNEL_SPARSE = "sparse-gather"
-KERNEL_DENSE = "dense-pull"
-KERNEL_NAMES = (KERNEL_SCALAR, KERNEL_SPARSE, KERNEL_DENSE)
-
-#: Frontiers whose *estimated* edge count is at or below this run the
-#: per-edge scalar kernel: below it, numpy's fixed per-call setup cost
-#: exceeds the per-edge Python dispatch it saves.
-SCALAR_KERNEL_MAX_EDGES = 32
-
-#: Default dense-pull crossover: pull every edge when the frontier
-#: covers more than ``1 / DENSE_PULL_CROSSOVER`` of a block's non-empty
-#: columns (``crossover * n_active > nzc``).
-DENSE_PULL_CROSSOVER = 2.0
-
-
-@dataclass(frozen=True)
-class KernelThresholds:
-    """The kernel selector's density crossovers, as one value object.
-
-    Built from ``EngineOptions`` by the engine (``scalar_kernel_max_edges``
-    / ``dense_pull_crossover``) and threaded through the executors to
-    every :func:`select_kernel` call, so benchmarks can sweep the
-    crossover points per run instead of patching module constants.
-    """
-
-    scalar_max_edges: int = SCALAR_KERNEL_MAX_EDGES
-    dense_crossover: float = DENSE_PULL_CROSSOVER
-
-    @classmethod
-    def from_options(cls, options) -> "KernelThresholds":
-        return cls(
-            scalar_max_edges=int(options.scalar_kernel_max_edges),
-            dense_crossover=float(options.dense_pull_crossover),
-        )
-
-
-DEFAULT_THRESHOLDS = KernelThresholds()
 
 
 @dataclass
@@ -378,59 +350,8 @@ def _combine_into(
 
 
 # ----------------------------------------------------------------------
-# Kernel selection + per-block fused kernels
+# Per-block fused kernels (selection lives in repro.core.kernels)
 # ----------------------------------------------------------------------
-def _has_scalar_hooks(program: GraphProgram) -> bool:
-    """True when the program overrides the per-edge scalar hooks.
-
-    ``supports_fused`` only requires the batch surface; a batch-only
-    program must never be routed to the scalar kernel.
-    """
-    cls = type(program)
-    return (
-        cls.process_message is not GraphProgram.process_message
-        and cls.reduce is not GraphProgram.reduce
-    )
-
-
-def select_kernel(
-    block,
-    n_active: int,
-    program: GraphProgram,
-    message_spec,
-    result_spec,
-    thresholds: KernelThresholds = DEFAULT_THRESHOLDS,
-) -> str:
-    """Pick the fused kernel for one (block, frontier) pair.
-
-    Driven by the frontier density relative to the block's non-empty
-    columns (``n_active / block.nzc``) and the block's nnz (which fixes
-    the expected edge count of the multiply).  The density crossovers
-    come from ``thresholds`` (``EngineOptions.scalar_kernel_max_edges``
-    / ``dense_pull_crossover``); batched SpMM callers pass the *union*
-    of the lanes' active columns as ``n_active`` (aggregate density).
-    """
-    if n_active >= block.nzc:
-        return KERNEL_DENSE  # full coverage: every stored edge fires
-    estimated_edges = (block.nnz * n_active) // max(block.nzc, 1)
-    if (
-        estimated_edges <= thresholds.scalar_max_edges
-        and result_spec.is_scalar
-        and result_spec.dtype != object
-        and message_spec.dtype != object
-        and _has_scalar_hooks(program)
-    ):
-        return KERNEL_SCALAR
-    if (
-        program.reduce_identity is not None
-        and message_spec.is_scalar
-        and message_spec.dtype != object
-        and thresholds.dense_crossover * n_active > block.nzc
-    ):
-        return KERNEL_DENSE  # masked pull over every edge
-    return KERNEL_SPARSE
-
-
 def _scalar_block_kernel(
     block,
     active_pos: np.ndarray,

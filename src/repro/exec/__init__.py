@@ -6,18 +6,24 @@ backend is a runtime knob (``EngineOptions.backend`` + ``n_workers``),
 not a property of the algorithm — the GraphBLAS framing of the kernel /
 executor choice as a backend concern the API hides.
 
-========== ==============================================================
-backend    schedule
-========== ==============================================================
-serial     all blocks in the calling thread (reference)
-threaded   thread pool; NumPy kernels release the GIL and overlap
-process    process pool; blocks shipped once per workspace, frontier
-           and properties broadcast via shared memory each superstep
-========== ==============================================================
+============= ===========================================================
+backend       schedule
+============= ===========================================================
+serial        all blocks in the calling thread (reference)
+threaded      thread pool; NumPy kernels release the GIL and overlap
+process       process pool; blocks shipped once per workspace, frontier
+              and properties broadcast via shared memory each superstep
+jit           Numba-compiled per-block kernels, calling thread
+jit-threaded  one packed Numba kernel per view, ``prange`` over blocks
+============= ===========================================================
 
-All backends run the identical per-block kernel, so algorithm outputs
-are bitwise identical across them.  See ``docs/EXECUTION.md`` for when
-each backend wins.
+All backends run the identical per-block kernels (NumPy or their
+compiled twins), so algorithm outputs are bitwise identical across
+them.  The jit backends require the optional ``numba`` dependency
+(``pip install repro-graphmat[jit]``); without it they fall back to
+their NumPy equivalents with one logged warning.  See
+``docs/EXECUTION.md`` for when each backend wins and
+``docs/KERNELS.md`` for the kernel taxonomy both tiers share.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 from repro.core.options import KNOWN_BACKENDS
 from repro.errors import ProgramError
 from repro.exec.base import Executor, SerialExecutor, finish_view, finish_view_batch
+from repro.exec.jit import JitExecutor, JitThreadedExecutor
 from repro.exec.process import ProcessExecutor
 from repro.exec.threaded import ThreadedExecutor
 from repro.exec.workspace import (
@@ -41,6 +48,8 @@ BACKENDS: dict[str, type[Executor]] = {
     SerialExecutor.name: SerialExecutor,
     ThreadedExecutor.name: ThreadedExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    JitExecutor.name: JitExecutor,
+    JitThreadedExecutor.name: JitThreadedExecutor,
 }
 
 assert set(BACKENDS) == set(KNOWN_BACKENDS), (
@@ -71,6 +80,8 @@ __all__ = [
     "BatchWorkspace",
     "BlockScratch",
     "Executor",
+    "JitExecutor",
+    "JitThreadedExecutor",
     "ProcessExecutor",
     "SerialExecutor",
     "SuperstepWorkspace",

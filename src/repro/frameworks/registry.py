@@ -24,6 +24,7 @@ COMPARED_FRAMEWORKS = ("graphlab", "combblas", "galois", "graphmat")
 
 
 def framework_names() -> list[str]:
+    """Registered framework names, in registration order."""
     return list(_FACTORIES)
 
 

@@ -55,6 +55,7 @@ def road_graph(
     n = width * height
 
     def vid(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vertex id of grid cell (x, y), row-major."""
         return (y * width + x).astype(np.int64)
 
     # Horizontal segments: (x, y) -- (x+1, y)

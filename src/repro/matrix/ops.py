@@ -11,22 +11,27 @@ from repro.matrix.dcsc import DCSCMatrix
 
 
 def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """COO -> CSR."""
     return CSRMatrix.from_coo(coo)
 
 
 def coo_to_csc(coo: COOMatrix) -> CSCMatrix:
+    """COO -> CSC."""
     return CSCMatrix.from_coo(coo)
 
 
 def coo_to_dcsc(coo: COOMatrix) -> DCSCMatrix:
+    """COO -> DCSC."""
     return DCSCMatrix.from_coo(coo)
 
 
 def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
+    """CSR -> CSC, via COO."""
     return CSCMatrix.from_coo(csr.to_coo())
 
 
 def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
+    """CSC -> CSR, via COO."""
     return CSRMatrix.from_coo(csc.to_coo())
 
 

@@ -66,6 +66,7 @@ class PerfReport:
         """Ratios vs a baseline run (Figure 6 normalizes to GraphMat)."""
 
         def ratio(a: float, b: float) -> float:
+            """a / b, inf on a zero baseline."""
             return a / b if b else float("inf")
 
         return {

@@ -188,6 +188,7 @@ def build_service(args: argparse.Namespace) -> GraphService:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
         service = build_service(args)

@@ -118,6 +118,7 @@ class ServeClient:
         )
 
     def stats(self, *, deadline: float | None = None) -> dict:
+        """GET ``/stats`` from the first endpoint that answers."""
         return self._call(
             "GET", "/stats", None,
             endpoints=[self.leader_url, *self.followers],

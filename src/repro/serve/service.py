@@ -216,6 +216,7 @@ class GraphService:
 
     @property
     def policy(self) -> BatchPolicy:
+        """The micro-batching policy the request batcher is running."""
         return self._batcher.policy
 
     @property
@@ -652,6 +653,7 @@ class GraphService:
 
     @property
     def draining(self) -> bool:
+        """True once a graceful drain has started (new work is refused)."""
         return self._draining.is_set()
 
     def ready(self) -> tuple[bool, str]:

@@ -148,6 +148,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "convert":

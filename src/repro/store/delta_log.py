@@ -319,6 +319,7 @@ def decode_frames(data: bytes) -> list[LoggedBatch]:
 
 
 def decode_record(payload: bytes) -> LoggedBatch:
+    """Decode one log record payload back into a LoggedBatch."""
     newline = payload.index(b"\n")
     header = json.loads(payload[:newline])
     arrays = {}

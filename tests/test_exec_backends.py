@@ -30,6 +30,7 @@ from repro.exec import (
     available_backends,
     create_executor,
 )
+from repro.exec.jit import jit_tier_available
 from repro.graph.generators.bipartite import BipartiteSpec, bipartite_rating_graph
 from repro.graph.generators.rmat import rmat_graph
 from repro.graph.preprocess import symmetrize, to_dag
@@ -41,6 +42,17 @@ BACKEND_NAMES = list(KNOWN_BACKENDS)
 
 def _options(backend: str, **kw) -> EngineOptions:
     return EngineOptions(backend=backend, n_workers=2, **kw)
+
+
+def _expected_backend(backend: str) -> str:
+    """What ``RunStats.backend`` should record for ``backend``.
+
+    The stats record the executor that actually ran; without numba the
+    jit tiers substitute their NumPy fallbacks (serial / threaded).
+    """
+    if jit_tier_available():
+        return backend
+    return {"jit": "serial", "jit-threaded": "threaded"}.get(backend, backend)
 
 
 @pytest.fixture(scope="module")
@@ -62,7 +74,7 @@ class TestBackendParity:
         ref = run_pagerank(rmat, max_iterations=8)
         got = run_pagerank(rmat, max_iterations=8, options=_options(backend))
         assert np.array_equal(ref.ranks, got.ranks)
-        assert got.stats.backend == backend
+        assert got.stats.backend == _expected_backend(backend)
 
     @pytest.mark.parametrize("backend", BACKEND_NAMES)
     def test_bfs(self, rmat_sym, backend):
