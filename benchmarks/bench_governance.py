@@ -1,0 +1,101 @@
+"""Governance benchmark: runaway containment, cancellation cost, fairness.
+
+Emits ``BENCH_governance.json`` (repo root by default) recording, for
+one R-MAT graph pair: how far past its deadline a co-batched runaway
+personalized-PageRank lane runs (in units of its own superstep
+durations — cooperative cancellation must be superstep-granular),
+bitwise parity of the surviving lanes against sequential runs, exactness
+of token ``superstep_budget`` cancellation, the overhead of an
+un-expiring governance token on uncancelled runs (must be
+perf-neutral), and closed-loop fairness when a flooding tenant hammers
+a quota'd service alongside well-behaved tenants.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_governance.py [--scale 14] [--out PATH]
+
+or as a pytest smoke test (small scale)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_governance.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.governance import (
+    bench_governance,
+    summarize,
+    write_governance_record,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_governance.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=14,
+                        help="R-MAT scale (2**scale vertices)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--lanes", type=int, default=8,
+                        help="lanes in the cancellation batch (K)")
+    parser.add_argument("--cancel-iterations", type=int, default=1000,
+                        help="supersteps a runaway lane asks for")
+    parser.add_argument("--runaway-deadline-ms", type=float, default=50.0,
+                        help="deadline the runaway lanes cannot meet")
+    parser.add_argument("--iterations", type=int, default=30,
+                        help="supersteps per overhead-phase run")
+    parser.add_argument("--overhead-runs", type=int, default=6)
+    parser.add_argument("--good-requests", type=int, default=40,
+                        help="well-behaved requests in the fairness phase")
+    parser.add_argument("--flood-requests", type=int, default=200,
+                        help="flooding-tenant requests in the fairness phase")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    record = bench_governance(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        n_lanes=args.lanes,
+        cancel_iterations=args.cancel_iterations,
+        runaway_deadline=args.runaway_deadline_ms / 1e3,
+        pr_iterations=args.iterations,
+        overhead_runs=args.overhead_runs,
+        good_requests=args.good_requests,
+        flood_requests=args.flood_requests,
+    )
+    path = write_governance_record(record, args.out)
+    print(summarize(record))
+    print(f"\nwrote {path}")
+    return 0
+
+
+def test_governance_bench_smoke(tmp_path):
+    """Small-scale smoke run: the governance invariants are
+    machine-independent, so they must hold even at toy sizes — budget
+    cancellation bitwise-exact, survivors of a cancelled batch bitwise
+    identical to sequential runs, overruns superstep-granular, the flood
+    actually shed, and every well-behaved request served correctly."""
+    record = bench_governance(
+        scale=10, edge_factor=8, n_lanes=4,
+        cancel_iterations=1000, runaway_deadline=0.05,
+        budget_runs=2, overhead_runs=3, pr_iterations=10,
+        good_requests=16, flood_requests=60,
+    )
+    out = write_governance_record(record, tmp_path / "BENCH_governance.json")
+    assert out.exists()
+    assert record["budget"]["budget_exact"] == 1.0
+    assert record["cancel"]["survivor_bitwise"] == 1.0
+    assert record["parity"]["survivor_bitwise"] == 1.0
+    assert record["cancel"]["within_two_supersteps"] == 1.0
+    assert record["cancel"]["engine_cancelled"] >= 1
+    assert record["fairness"]["good_success_rate"] == 1.0
+    assert record["fairness"]["flood_rejected_fraction"] >= 0.05
+    assert record["overhead"]["plain_vs_token"] > 0.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

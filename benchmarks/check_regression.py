@@ -69,6 +69,9 @@ CONFIG_KEYS = (
     "serve_iterations",
     "batches",
     "batch_edges",
+    "cancel_iterations",
+    "good_requests",
+    "flood_requests",
 )
 #: Calibration ratios are clamped here: beyond this the hosts are too
 #: different for time scaling to mean anything, and a corrupt probe
@@ -121,6 +124,21 @@ RATIO_FLOORS = {
     "parity.bfs_bitwise_jit_threaded": 1.0,
     "speedup.jit_vs_threaded": 1.0,
     "speedup.jit_threaded_vs_threaded": 1.5,
+    # Governance gate: cancellation must be deterministic and contained
+    # — a budget-B token run bitwise equals a plain max_iterations=B
+    # run, lanes that survive a cancelled co-batched neighbor stay
+    # bitwise identical to sequential runs, and every engine-cancelled
+    # runaway stops within ~2 of its own superstep durations past the
+    # deadline.  The fairness floors assert the flood is actually shed
+    # while well-behaved tenants all complete; the overhead floor
+    # asserts an un-expiring token is perf-neutral (>= 0.75 tolerates
+    # smoke-run timing noise on a ~1.0 ratio).
+    "budget.budget_exact": 1.0,
+    "parity.survivor_bitwise": 1.0,
+    "cancel.within_two_supersteps": 1.0,
+    "fairness.good_success_rate": 0.95,
+    "fairness.flood_rejected_fraction": 0.05,
+    "overhead.plain_vs_token": 0.75,
 }
 
 
@@ -261,6 +279,34 @@ def extract_metrics(record: dict) -> dict[str, tuple[float, str]]:
         if _dig(record, "meta.numba_available"):
             for name, value in (record.get("speedup") or {}).items():
                 metrics[f"speedup.{name}"] = (float(value), "floor")
+    elif benchmark == "bench_governance":
+        for name in (
+            "cancel.seconds",
+            "budget.seconds",
+            "overhead.plain_seconds",
+            "overhead.token_seconds",
+            "fairness.seconds",
+        ):
+            value = _dig(record, name)
+            if value is not None:
+                metrics[name] = (float(value), "time")
+        # The governance invariants are machine-independent hard floors
+        # (see RATIO_FLOORS): cancellation exactness and survivor parity
+        # at 1.0, flood shedding and well-behaved success rates, and the
+        # token perf-neutrality ratio — all floor-only because every one
+        # is either a boolean-like parity or a ratio of short smoke
+        # timings.
+        for name in (
+            "budget.budget_exact",
+            "parity.survivor_bitwise",
+            "cancel.within_two_supersteps",
+            "fairness.good_success_rate",
+            "fairness.flood_rejected_fraction",
+            "overhead.plain_vs_token",
+        ):
+            value = _dig(record, name)
+            if value is not None:
+                metrics[name] = (float(value), "floor")
     else:
         raise ValueError(f"unknown benchmark kind {benchmark!r}")
     return metrics

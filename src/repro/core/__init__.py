@@ -1,11 +1,14 @@
 """GraphMat core: vertex programs, generalized SpMV and the BSP engine."""
 
+from repro.core.cancellation import CancellationToken
 from repro.core.engine import (
+    BatchRun,
     IterationStats,
     RunStats,
     Workspace,
     graph_program_init,
     run_graph_program,
+    run_graph_programs_batched,
 )
 from repro.core.graph_program import EdgeDirection, GraphProgram, SemiringProgram
 from repro.core.options import (
@@ -35,11 +38,14 @@ __all__ = [
     "DEFAULT_OPTIONS",
     "ABLATION_LADDER",
     "KNOWN_BACKENDS",
+    "BatchRun",
+    "CancellationToken",
     "IterationStats",
     "RunStats",
     "Workspace",
     "graph_program_init",
     "run_graph_program",
+    "run_graph_programs_batched",
     "Semiring",
     "get_semiring",
     "STANDARD_SEMIRINGS",

@@ -1,0 +1,154 @@
+"""Cooperative cancellation for the BSP engine: :class:`CancellationToken`.
+
+A GraphMat superstep is a natural cancellation point: the engine owns
+the loop, every iteration starts at a well-defined boundary, and nothing
+user-visible is half-applied between boundaries.  A token carries up to
+three independent stop conditions — an explicit :meth:`cancel`, a
+wall-clock deadline, and a superstep budget — and the engine polls
+:meth:`check` once at the top of every superstep.  Polling costs one
+attribute read when no deadline is set and one ``clock()`` call when one
+is, so uncancelled runs stay perf-neutral (the BENCH_backends gate
+enforces this).
+
+Cancellation is *cooperative*: a fired token never interrupts a sweep in
+progress.  The run stops before the next superstep begins, which bounds
+cancellation latency to one superstep past the deadline — the
+containment guarantee the serving layer's end-to-end deadlines build on
+(see docs/SERVING.md).
+
+Precedence against the engine's other bounds (validated in
+:class:`~repro.core.options.EngineOptions`):
+
+1. ``max_iterations`` (explicit) — part of the *result contract*; the
+   run stops normally, not cancelled (PPR's fixed iteration count).
+2. token ``superstep_budget`` / deadline — *governance*: the run is
+   marked cancelled with the reason recorded in ``RunStats``.
+3. ``safety_cap`` — a *bug detector* for run-to-quiescence programs
+   that never quiesce; raises :class:`~repro.errors.ConvergenceError`
+   naming itself.
+
+Tokens are thread-safe (one writer via :meth:`cancel`, any number of
+reader threads) and single-use: once fired, :meth:`check` keeps
+returning the same reason.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ProgramError
+
+
+class CancellationToken:
+    """A cooperative stop signal checked at superstep boundaries.
+
+    Parameters
+    ----------
+    timeout:
+        Relative deadline in seconds from construction (convenience for
+        ``deadline_at=clock() + timeout``).  Mutually exclusive with
+        ``deadline_at``.
+    deadline_at:
+        Absolute deadline on the ``clock`` timeline (monotonic seconds).
+    superstep_budget:
+        Maximum supersteps the run may *start*; the budget fires when
+        ``iteration >= superstep_budget`` at a loop top.
+    clock:
+        Time source for deadlines (injectable for tests); defaults to
+        :func:`time.monotonic`.
+    """
+
+    __slots__ = ("deadline_at", "superstep_budget", "_clock", "_reason")
+
+    def __init__(
+        self,
+        *,
+        timeout: float | None = None,
+        deadline_at: float | None = None,
+        superstep_budget: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if timeout is not None and deadline_at is not None:
+            raise ProgramError(
+                "pass at most one of timeout (relative) and deadline_at "
+                "(absolute)"
+            )
+        if timeout is not None:
+            if not float(timeout) > 0:
+                raise ProgramError(
+                    f"timeout must be > 0 seconds, got {timeout}"
+                )
+            deadline_at = clock() + float(timeout)
+        if superstep_budget is not None and int(superstep_budget) < 1:
+            raise ProgramError(
+                f"superstep_budget must be >= 1, got {superstep_budget}"
+            )
+        self.deadline_at = (
+            float(deadline_at) if deadline_at is not None else None
+        )
+        self.superstep_budget = (
+            int(superstep_budget) if superstep_budget is not None else None
+        )
+        self._clock = clock
+        self._reason: str | None = None
+
+    # ------------------------------------------------------------------
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Fire the token explicitly; the first reason wins."""
+        if self._reason is None:
+            self._reason = str(reason)
+
+    @property
+    def cancelled(self) -> bool:
+        """Has the token fired (explicitly or by deadline)?
+
+        Budget exhaustion is relative to a specific run's iteration
+        count, so only :meth:`check` can observe it.
+        """
+        return self.check() is not None
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None when no deadline is set)."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - self._clock()
+
+    def check(self, iteration: int | None = None) -> str | None:
+        """The cancellation reason, or None while the run may continue.
+
+        Checked by the engine at the top of every superstep.  Reason
+        precedence: explicit :meth:`cancel`, then deadline, then
+        superstep budget (``iteration`` is the superstep about to
+        start).  Once fired, the reason sticks.
+        """
+        if self._reason is not None:
+            return self._reason
+        if self.deadline_at is not None:
+            overrun = self._clock() - self.deadline_at
+            if overrun >= 0:
+                self._reason = (
+                    f"deadline exceeded ({overrun * 1e3:.1f} ms past)"
+                )
+                return self._reason
+        if (
+            iteration is not None
+            and self.superstep_budget is not None
+            and iteration >= self.superstep_budget
+        ):
+            self._reason = (
+                f"superstep budget exhausted "
+                f"({self.superstep_budget} supersteps)"
+            )
+            return self._reason
+        return None
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.deadline_at is not None:
+            parts.append(f"deadline_at={self.deadline_at:.3f}")
+        if self.superstep_budget is not None:
+            parts.append(f"superstep_budget={self.superstep_budget}")
+        if self._reason is not None:
+            parts.append(f"fired={self._reason!r}")
+        return f"CancellationToken({', '.join(parts)})"

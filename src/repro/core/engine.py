@@ -135,6 +135,13 @@ class RunStats:
     #: from ``options.backend`` when the program forced a serial
     #: fallback, e.g. object-valued properties on the process backend).
     backend: str = "serial"
+    #: The run was cooperatively cancelled (token deadline, explicit
+    #: cancel, or superstep budget) at a superstep boundary; mutually
+    #: exclusive with ``converged``.
+    cancelled: bool = False
+    #: Why the run was cancelled (``CancellationToken.check``'s reason;
+    #: None for uncancelled runs).
+    cancel_reason: str | None = None
 
     @property
     def n_supersteps(self) -> int:
@@ -168,6 +175,8 @@ class RunStats:
         doc = {
             "backend": self.backend,
             "converged": bool(self.converged),
+            "cancelled": bool(self.cancelled),
+            "cancel_reason": self.cancel_reason,
             "used_fused_path": bool(self.used_fused_path),
             "total_seconds": float(self.total_seconds),
             "n_supersteps": self.n_supersteps,
@@ -288,7 +297,7 @@ def run_graph_program(
     *,
     workspace: Workspace | None = None,
     counters=None,
-    safety_cap: int = 100_000,
+    safety_cap: int | None = None,
 ) -> RunStats:
     """Run ``program`` on ``graph`` until quiescence or the iteration budget.
 
@@ -300,15 +309,21 @@ def run_graph_program(
     ----------
     options:
         Engine configuration (see :class:`repro.core.options.EngineOptions`).
+        ``options.token`` enables cooperative cancellation: the token is
+        polled at the top of every superstep, and a fired token stops
+        the run at that boundary with ``RunStats.cancelled`` set — see
+        :meth:`~repro.core.options.EngineOptions.iteration_bound` for
+        how it ranks against ``max_iterations`` and ``safety_cap``.
     workspace:
         Optional pre-built :class:`Workspace` (avoids re-partitioning,
         re-allocation and executor pool startup across runs).
     counters:
         Optional event counter sink (``repro.perf.counters.EventCounters``).
     safety_cap:
-        Hard superstep bound for ``max_iterations == -1`` runs; exceeded
-        means the program does not quiesce and :class:`ConvergenceError`
-        is raised.
+        Per-run override of ``options.safety_cap`` (None = use the
+        options' value): the hard superstep bound for
+        ``max_iterations == -1`` runs, exceeded means the program does
+        not quiesce and :class:`ConvergenceError` is raised.
     """
     program.validate()
     if workspace is not None and workspace.graph is not graph:
@@ -384,18 +399,39 @@ def run_graph_program(
     thresholds = KernelThresholds.from_options(options)
     properties = graph.vertex_properties
     n = graph.n_vertices
+    token = options.token
+    bound, bound_owner = options.iteration_bound()
+    if safety_cap is not None and bound_owner == "safety_cap":
+        bound = safety_cap
     start = time.perf_counter()
     iteration = 0
     try:
         if executor is not None:
             executor.prepare(views, program)
         while True:
-            if options.max_iterations != -1 and iteration >= options.max_iterations:
+            # One precedence rule (EngineOptions.iteration_bound): an
+            # explicit max_iterations stops the run normally; the
+            # safety cap firing is a does-not-quiesce bug.
+            if iteration >= bound:
+                if bound_owner == "safety_cap":
+                    raise ConvergenceError(
+                        f"safety_cap bound fired: run-to-quiescence "
+                        f"program did not quiesce within {bound} "
+                        f"supersteps (max_iterations=-1; set an explicit "
+                        f"max_iterations or a CancellationToken "
+                        f"superstep_budget to bound the run intentionally)"
+                    )
                 break
-            if options.max_iterations == -1 and iteration >= safety_cap:
-                raise ConvergenceError(
-                    f"program did not quiesce within {safety_cap} supersteps"
-                )
+            # Cooperative cancellation: polled at the superstep boundary
+            # (nothing user-visible is half-applied between boundaries),
+            # so a fired deadline stops the run before the *next* sweep
+            # starts — at most one superstep of cancellation latency.
+            if token is not None:
+                reason = token.check(iteration)
+                if reason is not None:
+                    stats.cancelled = True
+                    stats.cancel_reason = reason
+                    break
             active_idx = np.flatnonzero(graph.active)
             if active_idx.size == 0:
                 stats.converged = True
@@ -541,7 +577,7 @@ def run_graph_program(
             executor.close()
 
     stats.total_seconds = time.perf_counter() - start
-    if not stats.converged and options.max_iterations != -1:
+    if not stats.converged and not stats.cancelled and options.max_iterations != -1:
         # Ran out of budget; check quiescence for the flag's sake.
         stats.converged = graph.active_count == 0
     return stats
@@ -586,6 +622,16 @@ class BatchRun:
         return all(stats.converged for stats in self.lane_stats)
 
     @property
+    def cancelled(self) -> bool:
+        """True when any lane was cooperatively cancelled."""
+        return any(stats.cancelled for stats in self.lane_stats)
+
+    @property
+    def lanes_cancelled(self) -> int:
+        """How many lanes were cooperatively cancelled."""
+        return sum(stats.cancelled for stats in self.lane_stats)
+
+    @property
     def total_edges_processed(self) -> int:
         """Edges swept across all supersteps (shared across lanes)."""
         return sum(it.edges_processed for it in self.iterations)
@@ -615,6 +661,8 @@ class BatchRun:
             "n_lanes": self.n_lanes,
             "n_supersteps": self.n_supersteps,
             "converged": bool(self.converged),
+            "cancelled": bool(self.cancelled),
+            "lanes_cancelled": int(self.lanes_cancelled),
             "total_seconds": float(self.total_seconds),
             "total_edges_processed": int(self.total_edges_processed),
             "kernel_totals": {
@@ -680,7 +728,8 @@ def run_graph_programs_batched(
     options: EngineOptions = DEFAULT_OPTIONS,
     *,
     counters=None,
-    safety_cap: int = 100_000,
+    safety_cap: int | None = None,
+    lane_tokens=None,
 ) -> BatchRun:
     """Run K instances of one vertex-program class in a single BSP loop.
 
@@ -711,6 +760,18 @@ def run_graph_programs_batched(
     without re-partitioning, and ``options.backend`` selects the same
     serial / threaded / process executors (partition-disjoint row ranges
     make the K-lane accumulation lock-free on every backend).
+
+    Cancellation: ``options.token`` governs the *whole batch* (a fired
+    token cancels every still-live lane), while ``lane_tokens`` — a
+    K-element sequence of per-lane
+    :class:`~repro.core.cancellation.CancellationToken`/None — cancels
+    individual lanes.  A cancelled lane leaves the live mask exactly
+    like a converged one (its frontier is cleared, so it contributes
+    nothing to later shared sweeps), which keeps every surviving lane's
+    result bitwise identical to its sequential run; a lane cancelled by
+    superstep budget ``B`` holds exactly the state a sequential run
+    with ``max_iterations=B`` would have produced.  ``safety_cap``
+    overrides ``options.safety_cap`` for this run (None = use options).
     """
     programs = list(programs)
     n = graph.n_vertices
@@ -743,6 +804,28 @@ def run_graph_programs_batched(
         backend=executor.name,
     )
     lane_converged = np.zeros(n_lanes, dtype=bool)
+    lane_cancelled = np.zeros(n_lanes, dtype=bool)
+    tokens = list(lane_tokens) if lane_tokens is not None else []
+    if tokens and len(tokens) != n_lanes:
+        raise ProgramError(
+            f"lane_tokens must have one entry per lane: "
+            f"got {len(tokens)} for {n_lanes} lanes"
+        )
+    batch_token = options.token
+    bound, bound_owner = options.iteration_bound()
+    if safety_cap is not None and bound_owner == "safety_cap":
+        bound = safety_cap
+
+    def _cancel_lane(k: int, reason: str) -> None:
+        # Drop the lane from the live mask exactly like a converged
+        # one: clearing its frontier keeps it out of the shared
+        # wide-send/SpMM sweeps, so surviving lanes stay bitwise
+        # identical to their sequential runs.
+        run.lane_stats[k].cancelled = True
+        run.lane_stats[k].cancel_reason = reason
+        lane_cancelled[k] = True
+        lane_active[k] = False
+
     x, y = workspace.x, workspace.y
     # Equivalent lane instances unlock the full-width lane hooks (one
     # vectorized send/apply over the whole (n, K) block instead of K
@@ -757,18 +840,42 @@ def run_graph_programs_batched(
     try:
         executor.prepare(views, program0)
         while True:
-            if options.max_iterations != -1 and iteration >= options.max_iterations:
+            # Same precedence rule as the sequential driver (see
+            # EngineOptions.iteration_bound).
+            if iteration >= bound:
+                if bound_owner == "safety_cap":
+                    raise ConvergenceError(
+                        f"safety_cap bound fired: batched run-to-"
+                        f"quiescence program did not quiesce within "
+                        f"{bound} supersteps (max_iterations=-1; set an "
+                        f"explicit max_iterations or a CancellationToken "
+                        f"superstep_budget to bound the run intentionally)"
+                    )
                 break
-            if options.max_iterations == -1 and iteration >= safety_cap:
-                raise ConvergenceError(
-                    f"batched run did not quiesce within {safety_cap} supersteps"
-                )
+            # Cooperative cancellation at the superstep boundary: the
+            # batch token fells every live lane, per-lane tokens their
+            # own.
+            if batch_token is not None:
+                reason = batch_token.check(iteration)
+                if reason is not None:
+                    for k in np.flatnonzero(~lane_converged & ~lane_cancelled):
+                        _cancel_lane(int(k), reason)
+            if tokens:
+                for k in np.flatnonzero(~lane_converged & ~lane_cancelled):
+                    lane_token = tokens[int(k)]
+                    if lane_token is None:
+                        continue
+                    reason = lane_token.check(iteration)
+                    if reason is not None:
+                        _cancel_lane(int(k), reason)
             active_before = lane_active.sum(axis=1)
-            newly_quiet = ~lane_converged & (active_before == 0)
+            newly_quiet = (
+                ~lane_converged & ~lane_cancelled & (active_before == 0)
+            )
             for k in np.flatnonzero(newly_quiet):
                 run.lane_stats[int(k)].converged = True
             lane_converged |= newly_quiet
-            live = np.flatnonzero(~lane_converged)
+            live = np.flatnonzero(~lane_converged & ~lane_cancelled)
             if live.size == 0:
                 break
             t_iter = time.perf_counter()
@@ -889,7 +996,7 @@ def run_graph_programs_batched(
                     )
                     np.copyto(lane_properties, wide_new, where=adopt)
                     np.logical_and(y_valid, ~unchanged, out=lane_active)
-                    lane_active[lane_converged] = False
+                    lane_active[lane_converged | lane_cancelled] = False
                     activated_per_lane = lane_active.sum(axis=1)
                     lane_rows = [
                         (
@@ -978,7 +1085,10 @@ def run_graph_programs_batched(
         stats.total_seconds = run.total_seconds
     if options.max_iterations != -1:
         # Budget exhausted; record which lanes happen to be quiescent.
+        # Cancelled lanes keep converged=False: their cleared frontier
+        # says nothing about quiescence.
         for k in range(n_lanes):
-            if not run.lane_stats[k].converged:
-                run.lane_stats[k].converged = not lane_active[k].any()
+            stats = run.lane_stats[k]
+            if not stats.converged and not stats.cancelled:
+                stats.converged = not lane_active[k].any()
     return run

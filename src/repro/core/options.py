@@ -45,8 +45,9 @@ number of matrix partitions; everything else defaults on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
+from repro.core.cancellation import CancellationToken
 from repro.errors import ProgramError
 
 #: Execution backends the engine can dispatch SpMV work through.  Kept
@@ -112,6 +113,20 @@ class EngineOptions:
     #: declares a reduce identity) — i.e. by default when the frontier
     #: covers more than half of a block's non-empty columns.
     dense_pull_crossover: float = 2.0
+    #: Hard superstep bound for run-to-quiescence runs
+    #: (``max_iterations == -1``): past it the program evidently does
+    #: not quiesce and the engine raises
+    #: :class:`~repro.errors.ConvergenceError`.  A bug detector, not a
+    #: budget — use ``max_iterations`` or a token ``superstep_budget``
+    #: to bound a run intentionally (see :meth:`iteration_bound`).
+    safety_cap: int = 100_000
+    #: Cooperative cancellation (:class:`~repro.core.cancellation.
+    #: CancellationToken`): deadline, explicit cancel, and/or superstep
+    #: budget, polled at the top of every superstep.  Excluded from
+    #: equality/hashing — a token is per-run control flow, not engine
+    #: configuration (two runs with different tokens still share caches
+    #: keyed on options).
+    token: CancellationToken | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
@@ -151,6 +166,44 @@ class EngineOptions:
                 f"dense_pull_crossover must be > 0, "
                 f"got {self.dense_pull_crossover}"
             )
+        if self.safety_cap < 1:
+            raise ProgramError(
+                f"safety_cap must be >= 1, got {self.safety_cap}"
+            )
+        if self.token is not None and not isinstance(
+            self.token, CancellationToken
+        ):
+            raise ProgramError(
+                f"token must be a CancellationToken or None, "
+                f"got {type(self.token).__name__}"
+            )
+
+    def iteration_bound(self) -> tuple[int | None, str]:
+        """The run's superstep bound and which knob owns it.
+
+        One precedence rule, shared by both engine drivers:
+
+        1. Explicit ``max_iterations`` (when not -1) is the *result
+           contract*: the run stops there normally (``cancelled`` stays
+           False) — a token ``superstep_budget`` can only cut it
+           *short*, never extend it.
+        2. The token's ``superstep_budget`` (and its deadline /
+           explicit cancel) is *governance*: crossing it marks the run
+           cancelled with the reason recorded in ``RunStats``.
+        3. ``safety_cap`` backstops run-to-quiescence runs only
+           (``max_iterations == -1``): crossing it raises
+           :class:`~repro.errors.ConvergenceError` naming the cap —
+           a program that needs more supersteps than the cap is a bug
+           or needs an explicit budget.
+
+        Returns ``(bound, owner)`` where ``owner`` is
+        ``"max_iterations"`` or ``"safety_cap"``; the token's bounds
+        are enforced separately via ``token.check`` (they stop the run
+        *before* ``bound`` or not at all).
+        """
+        if self.max_iterations != -1:
+            return self.max_iterations, "max_iterations"
+        return self.safety_cap, "safety_cap"
 
     @property
     def n_partitions(self) -> int:

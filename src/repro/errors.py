@@ -102,6 +102,43 @@ class StaleReadError(ServeError, RuntimeError):
     """
 
 
+class DeadlineExceededError(ServeError, TimeoutError):
+    """A request's deadline passed before (or while) it was served.
+
+    Raised at admission (the deadline cannot be met given queue depth),
+    at dispatch (the ticket expired while queued), or after an engine
+    run whose lane was cooperatively cancelled at its deadline.  The
+    HTTP layer maps this to ``504 Gateway Timeout`` + ``Retry-After`` —
+    retriable, but only if the *caller's* budget still has room.
+
+    ``run_stats`` carries the cancelled lane's
+    :class:`~repro.core.engine.RunStats` when an engine run started
+    (None when the request never reached the engine).
+    """
+
+    def __init__(self, message: str, *, run_stats=None) -> None:
+        super().__init__(message)
+        self.run_stats = run_stats
+
+
+class QuotaExceededError(ServeError, RuntimeError):
+    """Per-tenant admission control refused a request (see
+    :mod:`repro.serve.quota`): the tenant's rate bucket is empty, its
+    in-flight cap is reached, or its queue share is exhausted.
+
+    Mapped to ``429 Too Many Requests`` + ``Retry-After`` (from
+    ``retry_after``, the bucket's next-token estimate); other tenants'
+    requests are unaffected — that asymmetry is the point.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float = 1.0, tenant: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.tenant = tenant
+
+
 class ReplicationError(ServeError, RuntimeError):
     """The replication protocol failed (unreachable leader, bad frame,
     cursor the leader no longer recognizes)."""

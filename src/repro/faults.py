@@ -64,6 +64,9 @@ CRASH_POINTS = (
     "snapshot.before_rename",
     # serve/scheduler.py — dying with admitted queries on the dispatcher.
     "serve.dispatch.before",
+    # serve/scheduler.py — dying while failing already-expired tickets
+    # (deadline governance: expired futures must still resolve).
+    "serve.dispatch.expired",
 )
 
 _VALID_ACTIONS = ("kill", "exit", "raise")

@@ -21,7 +21,11 @@ backend, many concurrent user queries.
   read-only replica (bounded-staleness reads, catch-up-then-swap
   snapshot installs — see docs/SERVING.md and ``repro-serve --follow``),
 - :class:`ServeClient` is the retrying client: per-request deadlines,
-  ``Retry-After``-aware backoff with jitter, read failover to followers.
+  ``Retry-After``-aware backoff with jitter, read failover to followers,
+  and per-endpoint circuit breakers,
+- :class:`QuotaManager` governs per-tenant admission (token-bucket
+  rate, in-flight and queue-share caps; ``X-Tenant`` selects the
+  tenant, refusals map to 429 + Retry-After — see docs/SERVING.md).
 
 See docs/SERVING.md for architecture, failure modes and operations.
 """
@@ -29,6 +33,7 @@ See docs/SERVING.md for architecture, failure modes and operations.
 from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.client import ServeClient
 from repro.serve.http import GraphHTTPServer, ServeHandler, make_server
+from repro.serve.quota import QuotaManager, TenantPolicy
 from repro.serve.registry import GraphEntry, GraphRegistry
 from repro.serve.replication import ReplicationFollower
 from repro.serve.scheduler import (
@@ -48,11 +53,13 @@ __all__ = [
     "GraphService",
     "MicroBatcher",
     "QueryResult",
+    "QuotaManager",
     "ReplicationFollower",
     "ResultCache",
     "SchedulerStats",
     "ServeClient",
     "ServeHandler",
+    "TenantPolicy",
     "Ticket",
     "make_server",
 ]

@@ -45,6 +45,7 @@ from repro.serve.cache import ResultCache
 from repro.serve.http import ServeHandler, make_server
 from repro.serve.registry import GraphRegistry
 from repro.serve.replication import ReplicationFollower
+from repro.serve.quota import QuotaManager, TenantPolicy
 from repro.serve.scheduler import BatchPolicy
 from repro.serve.service import GraphService
 
@@ -131,6 +132,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="follower long-poll duration in seconds (default 10)",
     )
     parser.add_argument(
+        "--default-deadline-ms", type=float, default=0.0,
+        help="deadline applied to queries that do not send one "
+             "(deadline_ms / X-Deadline-Ms); past it the query is "
+             "refused or cancelled at the next superstep and answered "
+             "with 504 (default 0 = no implicit deadline)",
+    )
+    parser.add_argument(
+        "--tenant-rate", type=float, default=0.0,
+        help="per-tenant admission rate in queries/second (X-Tenant "
+             "header; unknown tenants share the default policy); "
+             "refusals get 429 + Retry-After (default 0 = no rate cap)",
+    )
+    parser.add_argument(
+        "--tenant-burst", type=float, default=0.0,
+        help="per-tenant token-bucket burst size (default 0 = one "
+             "second's worth of --tenant-rate)",
+    )
+    parser.add_argument(
+        "--tenant-max-inflight", type=int, default=0,
+        help="per-tenant concurrent-request cap (default 0 = unlimited)",
+    )
+    parser.add_argument(
+        "--tenant-queue-share", type=float, default=0.0,
+        help="largest fraction of --max-queue one tenant may occupy, "
+             "in (0, 1] (default 0 = unlimited)",
+    )
+    parser.add_argument(
         "--verify", action="store_true",
         help="re-checksum snapshot arrays while loading",
     )
@@ -166,6 +194,30 @@ def build_service(args: argparse.Namespace) -> GraphService:
             f"{entry.graph.n_edges} edges from {path} "
             f"({entry.load_seconds * 1e3:.1f} ms load)"
         )
+    quota = None
+    if (
+        getattr(args, "tenant_rate", 0) > 0
+        or getattr(args, "tenant_max_inflight", 0) > 0
+        or getattr(args, "tenant_queue_share", 0) > 0
+    ):
+        quota = QuotaManager(
+            default=TenantPolicy(
+                rate=args.tenant_rate if args.tenant_rate > 0 else None,
+                burst=(
+                    args.tenant_burst if args.tenant_burst > 0 else None
+                ),
+                max_in_flight=(
+                    args.tenant_max_inflight
+                    if args.tenant_max_inflight > 0
+                    else None
+                ),
+                max_queue_share=(
+                    args.tenant_queue_share
+                    if args.tenant_queue_share > 0
+                    else None
+                ),
+            )
+        )
     return GraphService(
         registry,
         options=EngineOptions(
@@ -184,6 +236,12 @@ def build_service(args: argparse.Namespace) -> GraphService:
         compact_threshold=args.compact_threshold,
         fsync=getattr(args, "fsync", False),
         read_only=follower_mode,
+        quota=quota,
+        default_deadline=(
+            args.default_deadline_ms / 1e3
+            if getattr(args, "default_deadline_ms", 0) > 0
+            else None
+        ),
     )
 
 

@@ -39,9 +39,18 @@ or ``"top"`` (N best vertices; best = nearest for distances, highest for
 scores).  With neither, the full result vector is returned (``null`` for
 infinite entries, which JSON cannot spell).
 
+Governance (docs/SERVING.md): queries may carry a deadline
+(``deadline_ms`` in the body, or the ``X-Deadline-Ms`` header) and a
+tenant identity (``X-Tenant``).  A deadline that cannot be met — at
+admission, while queued, or once the engine cancels the run at a
+superstep boundary — maps to ``504`` + ``Retry-After``; a tenant over
+its quota gets ``429`` with a ``Retry-After`` computed from its own
+token bucket.
+
 Errors map onto status codes: 400 malformed body/parameters, 404 unknown
-path/graph/kind, 503 + ``Retry-After`` when admission control sheds the
-request, 500 for engine failures.  Every response body is JSON.
+path/graph/kind, 429 per-tenant quota refusals, 503 + ``Retry-After``
+when admission control sheds the request, 504 deadline exceeded, 500 for
+engine failures.  Every response body is JSON.
 """
 
 from __future__ import annotations
@@ -58,7 +67,9 @@ from repro import __version__
 from repro.algorithms.adapters import get_adapter
 from repro.errors import (
     BadQueryError,
+    DeadlineExceededError,
     GraphError,
+    QuotaExceededError,
     ReadOnlyServiceError,
     ReproError,
     ServeError,
@@ -278,13 +289,32 @@ class ServeHandler(BaseHTTPRequestHandler):
             if not isinstance(graph_name, str):
                 raise BadQueryError("body must name a 'graph' (string)")
             top, vertices = self._payload_bounds(body)
+            deadline = self._deadline_seconds(body)
+            tenant = self.headers.get("X-Tenant") or None
             adapter = get_adapter(kind)  # 404 for unknown kinds, below
             follower = getattr(self.server, "follower", None)
             if follower is not None:
                 follower.check_read(graph_name)
-            result = self.server.service.query(graph_name, kind, body)
+            result = self.server.service.query(
+                graph_name, kind, body, deadline=deadline, tenant=tenant
+            )
         except UnknownGraphError as exc:
             self._error(404, f"unknown graph {exc.args[0]!r}")
+        except QuotaExceededError as exc:
+            # Per-tenant refusal: 429, not 503 — the *service* has
+            # capacity, this tenant used its share.  Retry-After comes
+            # from the tenant's actual bucket deficit.
+            self._error(
+                429, str(exc),
+                {"Retry-After": f"{max(0.05, exc.retry_after):.3f}"},
+            )
+        except DeadlineExceededError as exc:
+            # The request's own deadline fired (at admission, in the
+            # queue, or via engine cancellation): 504, retriable — but
+            # only worth retrying if the caller's budget has room.
+            self._error(
+                504, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)}
+            )
         except (
             ServiceOverloadedError, ServiceDrainingError, StaleReadError
         ) as exc:
@@ -368,6 +398,26 @@ class ServeHandler(BaseHTTPRequestHandler):
         if not isinstance(body, dict):
             raise BadQueryError("JSON body must be an object")
         return body
+
+    def _deadline_seconds(self, body: dict) -> float | None:
+        """The request deadline in seconds, from ``deadline_ms`` in the
+        body or the ``X-Deadline-Ms`` header (body wins), or None."""
+        raw = body.pop("deadline_ms", None)
+        if raw is None:
+            raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            deadline_ms = float(raw)
+        except (TypeError, ValueError):
+            raise BadQueryError(
+                f"deadline_ms must be a number of milliseconds, got {raw!r}"
+            ) from None
+        if not deadline_ms > 0:
+            raise BadQueryError(
+                f"deadline_ms must be > 0, got {deadline_ms:g}"
+            )
+        return deadline_ms / 1e3
 
     @staticmethod
     def _payload_bounds(body: dict) -> tuple[int | None, list[int] | None]:

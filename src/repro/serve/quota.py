@@ -1,0 +1,235 @@
+"""Per-tenant resource governance: token-bucket admission + caps.
+
+Without tenant identity, overload shedding is FIFO-fair — which is to
+say unfair: one flooding client fills the bounded queue and every other
+client's requests are shed alongside its own.  This module makes
+shedding *per-tenant*: requests carry an ``X-Tenant`` identity (HTTP)
+or a ``tenant=`` argument (embedded), and :class:`QuotaManager` admits
+or refuses each one against that tenant's :class:`TenantPolicy`:
+
+- **rate** — a token bucket (``rate`` tokens/second, ``burst`` deep):
+  sustained request rate above ``rate`` drains the bucket and further
+  requests are refused with a ``Retry-After`` hint computed from the
+  bucket's actual deficit, not a constant;
+- **max_in_flight** — admitted-but-unanswered requests per tenant
+  (covers queue wait *and* engine time);
+- **max_queue_share** — the fraction of the scheduler's bounded queue
+  one tenant may occupy, so a burst within rate still cannot squeeze
+  every other tenant out of the queue.
+
+Unknown tenants (and requests with no tenant at all) fall back to the
+``default`` policy, so governance needs no registration step; a policy
+of ``TenantPolicy.unlimited()`` turns any check off.
+
+Refusals raise :class:`~repro.errors.QuotaExceededError` (HTTP 429 +
+``Retry-After``); per-tenant counters surface in ``/stats`` under
+``governance.tenants``.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import QuotaExceededError, ServeError
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits for one tenant (or the default for all)."""
+
+    #: Sustained admissions per second (token-bucket refill rate);
+    #: None = unlimited rate.
+    rate: float | None = None
+    #: Bucket depth: how many requests may burst above the rate before
+    #: refusals start.  Defaults to ``max(1, rate)`` when a rate is set.
+    burst: float | None = None
+    #: Admitted-but-unanswered requests allowed at once; None = unbounded.
+    max_in_flight: int | None = None
+    #: Fraction of the scheduler queue (``BatchPolicy.max_queue``) this
+    #: tenant's waiting requests may occupy; None = no share cap.
+    max_queue_share: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and not self.rate > 0:
+            raise ServeError(f"rate must be > 0 req/s, got {self.rate}")
+        if self.burst is not None and not self.burst >= 1:
+            raise ServeError(f"burst must be >= 1, got {self.burst}")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ServeError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        if self.max_queue_share is not None and not (
+            0 < self.max_queue_share <= 1
+        ):
+            raise ServeError(
+                f"max_queue_share must be in (0, 1], "
+                f"got {self.max_queue_share}"
+            )
+
+    @classmethod
+    def unlimited(cls) -> "TenantPolicy":
+        """No limits — the default default (governance is opt-in)."""
+        return cls()
+
+    @property
+    def effective_burst(self) -> float:
+        return (
+            self.burst
+            if self.burst is not None
+            else max(1.0, self.rate or 1.0)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "max_in_flight": self.max_in_flight,
+            "max_queue_share": self.max_queue_share,
+        }
+
+
+class _TenantState:
+    """One tenant's live bucket level and counters."""
+
+    __slots__ = (
+        "tokens", "refilled_at", "in_flight",
+        "admitted", "rejected_rate", "rejected_in_flight", "rejected_share",
+    )
+
+    def __init__(self, burst: float, now: float) -> None:
+        self.tokens = burst
+        self.refilled_at = now
+        self.in_flight = 0
+        self.admitted = 0
+        self.rejected_rate = 0
+        self.rejected_in_flight = 0
+        self.rejected_share = 0
+
+
+#: Identity used when a request names no tenant.
+DEFAULT_TENANT = "default"
+
+
+class QuotaManager:
+    """Thread-safe per-tenant admission control (see module docstring)."""
+
+    def __init__(
+        self,
+        default: TenantPolicy | None = None,
+        per_tenant: dict[str, TenantPolicy] | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.default = default if default is not None else TenantPolicy.unlimited()
+        self.per_tenant = dict(per_tenant or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states: dict[str, _TenantState] = {}
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy, falling back to the default."""
+        return self.per_tenant.get(tenant, self.default)
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        tenant: str | None,
+        *,
+        queue_depth: int = 0,
+        max_queue: int | None = None,
+    ) -> str:
+        """Admit one request for ``tenant`` or raise
+        :class:`~repro.errors.QuotaExceededError`.
+
+        Checks run cheapest-first: queue share (against ``max_queue``
+        when the caller supplies it), in-flight cap, then the rate
+        bucket — the bucket is only debited when the request is
+        actually admitted, so refusals don't burn rate budget.  Every
+        admission must be paired with exactly one :meth:`release`.
+        Returns the resolved tenant name.
+        """
+        tenant = tenant or DEFAULT_TENANT
+        policy = self.policy_for(tenant)
+        now = self._clock()
+        with self._lock:
+            state = self._states.get(tenant)
+            if state is None:
+                state = _TenantState(policy.effective_burst, now)
+                self._states[tenant] = state
+            if (
+                policy.max_queue_share is not None
+                and max_queue is not None
+                and state.in_flight >= policy.max_queue_share * max_queue
+            ):
+                state.rejected_share += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} holds its full queue share "
+                    f"({state.in_flight} in flight >= "
+                    f"{policy.max_queue_share:.0%} of {max_queue})",
+                    retry_after=1.0,
+                    tenant=tenant,
+                )
+            if (
+                policy.max_in_flight is not None
+                and state.in_flight >= policy.max_in_flight
+            ):
+                state.rejected_in_flight += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} has {state.in_flight} requests "
+                    f"in flight (cap {policy.max_in_flight})",
+                    retry_after=1.0,
+                    tenant=tenant,
+                )
+            if policy.rate is not None:
+                burst = policy.effective_burst
+                state.tokens = min(
+                    burst,
+                    state.tokens + (now - state.refilled_at) * policy.rate,
+                )
+                state.refilled_at = now
+                if state.tokens < 1.0:
+                    state.rejected_rate += 1
+                    # When the next token arrives, given the refill rate
+                    # and the current deficit.
+                    retry_after = (1.0 - state.tokens) / policy.rate
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} exceeded its rate "
+                        f"({policy.rate:g} req/s, burst {burst:g})",
+                        retry_after=max(0.05, retry_after),
+                        tenant=tenant,
+                    )
+                state.tokens -= 1.0
+            state.in_flight += 1
+            state.admitted += 1
+        return tenant
+
+    def release(self, tenant: str | None) -> None:
+        """Mark one admitted request finished (answered or failed)."""
+        tenant = tenant or DEFAULT_TENANT
+        with self._lock:
+            state = self._states.get(tenant)
+            if state is not None and state.in_flight > 0:
+                state.in_flight -= 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready per-tenant counters for ``/stats``."""
+        with self._lock:
+            tenants = {
+                name: {
+                    "in_flight": state.in_flight,
+                    "admitted": state.admitted,
+                    "rejected_rate": state.rejected_rate,
+                    "rejected_in_flight": state.rejected_in_flight,
+                    "rejected_share": state.rejected_share,
+                    "policy": self.policy_for(name).to_dict(),
+                }
+                for name, state in self._states.items()
+            }
+        return {
+            "default_policy": self.default.to_dict(),
+            "tenants": tenants,
+        }

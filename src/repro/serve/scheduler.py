@@ -45,7 +45,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
 from repro import faults
-from repro.errors import ServeError, ServiceOverloadedError
+from repro.errors import (
+    DeadlineExceededError,
+    ServeError,
+    ServiceOverloadedError,
+)
 
 
 @dataclass
@@ -92,6 +96,13 @@ class Ticket:
     payload: object
     future: Future = field(default_factory=Future)
     enqueued_at: float = 0.0
+    #: Absolute deadline on the batcher's clock (None = no deadline).
+    #: Tickets past it at dispatch time are failed with
+    #: :class:`~repro.errors.DeadlineExceededError` instead of wasting
+    #: an engine lane on an answer nobody is waiting for.
+    deadline_at: float | None = None
+    #: Tenant identity, for per-tenant accounting (None = default).
+    tenant: str | None = None
 
 
 @dataclass
@@ -100,6 +111,9 @@ class SchedulerStats:
 
     submitted: int = 0
     shed: int = 0
+    #: Tickets whose deadline had passed when their batch was formed;
+    #: failed without dispatching (no engine lane spent on them).
+    expired: int = 0
     dispatches: int = 0
     full_dispatches: int = 0
     timeout_dispatches: int = 0
@@ -111,6 +125,7 @@ class SchedulerStats:
         return {
             "submitted": self.submitted,
             "shed": self.shed,
+            "expired": self.expired,
             "dispatches": self.dispatches,
             "full_dispatches": self.full_dispatches,
             "timeout_dispatches": self.timeout_dispatches,
@@ -284,18 +299,54 @@ class MicroBatcher:
                         continue
                 group, tickets, full = batch
                 now = self._clock()
-                self._stats.dispatches += 1
-                self._stats.full_dispatches += int(full)
-                self._stats.timeout_dispatches += int(not full)
-                self._stats.lanes_dispatched += len(tickets)
-                self._stats.max_batch_k_seen = max(
-                    self._stats.max_batch_k_seen, len(tickets)
-                )
-                self._stats.total_queue_wait_seconds += sum(
-                    now - t.enqueued_at for t in tickets
-                )
-            # Execute outside the lock: submits keep flowing (and queue
-            # up the next batch) while the engine sweeps this one.
+                # Dispatch-time expiry: a ticket whose deadline passed
+                # while it queued gets a DeadlineExceededError, not an
+                # engine lane — the caller stopped waiting, and the
+                # lane goes to a request that can still be answered.
+                expired = [
+                    t for t in tickets
+                    if t.deadline_at is not None and now >= t.deadline_at
+                ]
+                if expired:
+                    dead = {id(t) for t in expired}
+                    tickets = [t for t in tickets if id(t) not in dead]
+                    self._stats.expired += len(expired)
+                if tickets:
+                    self._stats.dispatches += 1
+                    self._stats.full_dispatches += int(full)
+                    self._stats.timeout_dispatches += int(not full)
+                    self._stats.lanes_dispatched += len(tickets)
+                    self._stats.max_batch_k_seen = max(
+                        self._stats.max_batch_k_seen, len(tickets)
+                    )
+                    self._stats.total_queue_wait_seconds += sum(
+                        now - t.enqueued_at for t in tickets
+                    )
+            # Resolve and execute outside the lock: submits keep flowing
+            # (and queue up the next batch) while the engine sweeps this
+            # one.
+            if expired:
+                try:
+                    faults.crash_point("serve.dispatch.expired")
+                except BaseException as exc:  # noqa: BLE001 — futures carry it
+                    # The ``raise`` action must not strand callers (or
+                    # kill the dispatcher): expired futures resolve with
+                    # the injected fault instead of the deadline error.
+                    for ticket in expired:
+                        if not ticket.future.done():
+                            ticket.future.set_exception(exc)
+                else:
+                    for ticket in expired:
+                        waited = now - ticket.enqueued_at
+                        ticket.future.set_exception(
+                            DeadlineExceededError(
+                                f"deadline passed while queued "
+                                f"({waited * 1e3:.0f} ms in queue); "
+                                f"not dispatched"
+                            )
+                        )
+            if not tickets:
+                continue
             try:
                 faults.crash_point("serve.dispatch.before")
                 self._execute(group, tickets)

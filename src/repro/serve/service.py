@@ -41,16 +41,20 @@ from typing import Hashable
 import numpy as np
 
 from repro.algorithms.adapters import QueryAdapter, get_adapter
+from repro.core.cancellation import CancellationToken
 from repro.core.engine import BatchRun, run_graph_programs_batched
 from repro.core.options import DEFAULT_OPTIONS, EngineOptions
 from repro.dynamic import DeltaGraph
 from repro.errors import (
+    BadQueryError,
+    DeadlineExceededError,
     ReadOnlyServiceError,
     ServeError,
     ServiceDrainingError,
 )
 from repro.graph.graph import Graph
 from repro.serve.cache import ResultCache
+from repro.serve.quota import QuotaManager
 from repro.serve.registry import GraphRegistry
 from repro.serve.scheduler import BatchPolicy, MicroBatcher, Ticket
 from repro.store.delta_log import (
@@ -160,10 +164,17 @@ class GraphService:
         compact_threshold: float = 0.25,
         fsync: bool = False,
         read_only: bool = False,
+        quota: QuotaManager | None = None,
+        default_deadline: float | None = None,
     ) -> None:
         if not 0.0 < compact_threshold:
             raise ServeError(
                 f"compact_threshold must be > 0, got {compact_threshold}"
+            )
+        if default_deadline is not None and not default_deadline > 0:
+            raise ServeError(
+                f"default_deadline must be > 0 seconds or None, "
+                f"got {default_deadline}"
             )
         self.registry = registry
         self.options = options
@@ -183,6 +194,18 @@ class GraphService:
         self.fsync = bool(fsync)
         #: Read-only services (replication followers) reject ``mutate``.
         self.read_only = bool(read_only)
+        #: Per-tenant admission control (None = no tenant governance).
+        self.quota = quota
+        #: Deadline, in seconds, assigned to requests that bring none —
+        #: the backstop that contains an adversarial runaway which
+        #: simply omits its deadline (None = such requests run
+        #: unbounded, the pre-governance behavior).
+        self.default_deadline = (
+            float(default_deadline) if default_deadline is not None else None
+        )
+        #: Deadlines live on the same monotonic timeline as the
+        #: batcher's dispatch clock and the engine tokens' default.
+        self._clock = time.monotonic
         self._batcher = MicroBatcher(self._execute_batch, policy)
         self._lock = threading.Lock()
         self._mutate_lock = threading.Lock()
@@ -205,6 +228,11 @@ class GraphService:
         self._engine_supersteps = 0
         self._engine_edges = 0
         self._errors = 0
+        self._cancelled_lanes = 0
+        self._deadline_refused = 0
+        #: EWMA of batch wall seconds — the dispatch-time estimate the
+        #: deadline-feasibility admission check divides the queue by.
+        self._batch_seconds_ewma = 0.0
         self._mutations = 0
         self._edges_inserted = 0
         self._edges_deleted = 0
@@ -234,10 +262,23 @@ class GraphService:
         params: dict | None = None,
         *,
         timeout: float | None = None,
+        deadline: float | None = None,
+        tenant: str | None = None,
     ) -> QueryResult:
         """Answer one query, batching it with concurrent same-kind queries.
 
-        Raises :class:`~repro.errors.UnknownGraphError`,
+        ``deadline`` (seconds from now; ``default_deadline`` when None)
+        bounds the request end to end: admission refuses it outright
+        when the queue is too deep to meet it
+        (:class:`~repro.errors.DeadlineExceededError`), the dispatcher
+        drops it if it expires while queued, and an engine run past the
+        deadline is cooperatively cancelled at the next superstep
+        boundary.  ``tenant`` names the caller for per-tenant quota
+        admission when the service has a
+        :class:`~repro.serve.quota.QuotaManager`
+        (:class:`~repro.errors.QuotaExceededError` on refusal).
+
+        Also raises :class:`~repro.errors.UnknownGraphError`,
         :class:`~repro.errors.BadQueryError`,
         :class:`~repro.errors.ServiceOverloadedError` (queue full), or
         whatever the engine raised for the serving batch.
@@ -247,64 +288,128 @@ class GraphService:
             raise ServiceDrainingError(
                 "service is draining for shutdown; retry another replica"
             )
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = None
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise BadQueryError(
+                    f"deadline must be a number of seconds, got {deadline!r}"
+                ) from None
+            if not deadline > 0:
+                raise BadQueryError(
+                    f"deadline must be > 0 seconds, got {deadline}"
+                )
+            deadline_at = self._clock() + deadline
         adapter = get_adapter(kind)
         # One registry read pins this query to a consistent (graph
         # object, epoch) pair: a concurrent mutation swaps the entry but
         # never mutates a graph object in place.
         entry = self.registry.entry(graph_name)
         canonical = adapter.canonicalize(entry.graph, dict(params or {}))
-        with self._lock:
-            self._queries += 1
-            self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
-        # Epoch-versioned cache key: content hash alone is stale-prone
-        # once mutation exists (an overlay could be compacted back into
-        # a graph while old entries linger); the epoch makes every
-        # pre-mutation entry structurally unmatchable.
-        cache_key = (
-            entry.content_key(),
-            entry.epoch,
-            kind,
-            tuple(sorted(canonical.items())),
-        )
-        cached = self.cache.get(cache_key)
-        if cached is not None:
+        # Quota admission after validation (malformed requests burn no
+        # quota), before any work.  Every admit pairs with the release
+        # in the finally below.
+        admitted_tenant = None
+        if self.quota is not None:
+            admitted_tenant = self.quota.admit(
+                tenant,
+                queue_depth=self._batcher.pending,
+                max_queue=self.policy.max_queue,
+            )
+        try:
+            with self._lock:
+                self._queries += 1
+                self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+            # Epoch-versioned cache key: content hash alone is stale-prone
+            # once mutation exists (an overlay could be compacted back into
+            # a graph while old entries linger); the epoch makes every
+            # pre-mutation entry structurally unmatchable.
+            cache_key = (
+                entry.content_key(),
+                entry.epoch,
+                kind,
+                tuple(sorted(canonical.items())),
+            )
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                return QueryResult(
+                    graph=graph_name,
+                    kind=kind,
+                    params=canonical,
+                    values=cached,
+                    cached=True,
+                    batch_k=0,
+                    latency_ms=1e3 * (time.perf_counter() - t0),
+                )
+            self._check_deadline_feasible(deadline_at)
+            group = (
+                graph_name, entry.epoch, kind, adapter.batch_key(canonical)
+            )
+            ticket = Ticket(
+                group=group,
+                payload=_Payload(
+                    adapter=adapter,
+                    canonical=canonical,
+                    cache_key=cache_key,
+                    graph=entry.graph,
+                    epoch=entry.epoch,
+                ),
+                deadline_at=deadline_at,
+                tenant=admitted_tenant,
+            )
+            try:
+                future = self._batcher.submit(ticket)
+                values, batch_k, engine = future.result(timeout=timeout)
+            except Exception:
+                with self._lock:
+                    self._errors += 1
+                raise
             return QueryResult(
                 graph=graph_name,
                 kind=kind,
                 params=canonical,
-                values=cached,
-                cached=True,
-                batch_k=0,
+                values=values,
+                cached=False,
+                batch_k=batch_k,
                 latency_ms=1e3 * (time.perf_counter() - t0),
+                engine=engine,
             )
-        group = (graph_name, entry.epoch, kind, adapter.batch_key(canonical))
-        ticket = Ticket(
-            group=group,
-            payload=_Payload(
-                adapter=adapter,
-                canonical=canonical,
-                cache_key=cache_key,
-                graph=entry.graph,
-                epoch=entry.epoch,
-            ),
-        )
-        try:
-            future = self._batcher.submit(ticket)
-            values, batch_k, engine = future.result(timeout=timeout)
-        except Exception:
+        finally:
+            if admitted_tenant is not None:
+                self.quota.release(admitted_tenant)
+
+    def _check_deadline_feasible(self, deadline_at: float | None) -> None:
+        """Refuse now what we cannot answer in time.
+
+        With ``q`` tickets already queued and batches of up to ``K``
+        lanes taking ``ewma`` seconds each, a new ticket waits roughly
+        ``ceil(q / K) * ewma`` before its own batch even starts —
+        admitting it past that is queueing work whose answer nobody
+        will be waiting for.  The estimate is deliberately coarse (one
+        EWMA, not a per-group model); it exists to bound the queue's
+        *time* depth the way ``max_queue`` bounds its length.
+        """
+        if deadline_at is None:
+            return
+        remaining = deadline_at - self._clock()
+        with self._lock:
+            estimate = self._batch_seconds_ewma
+        pending = self._batcher.pending
+        k = self.policy.max_batch_k
+        batches_ahead = (pending + k - 1) // k
+        expected_wait = estimate * batches_ahead
+        if remaining <= 0 or (estimate > 0 and expected_wait > remaining):
             with self._lock:
-                self._errors += 1
-            raise
-        return QueryResult(
-            graph=graph_name,
-            kind=kind,
-            params=canonical,
-            values=values,
-            cached=False,
-            batch_k=batch_k,
-            latency_ms=1e3 * (time.perf_counter() - t0),
-            engine=engine,
-        )
+                self._deadline_refused += 1
+            raise DeadlineExceededError(
+                f"deadline cannot be met: {max(0.0, remaining) * 1e3:.0f} ms "
+                f"remain but ~{expected_wait * 1e3:.0f} ms of queue is "
+                f"ahead ({pending} pending, "
+                f"{estimate * 1e3:.0f} ms/batch); refused at admission"
+            )
 
     # ------------------------------------------------------------------
     # Mutation path (any thread; serialized by the mutation lock)
@@ -589,15 +694,55 @@ class GraphService:
         programs = adapter.make_programs(canonicals)
         lane_properties, lane_active = adapter.init_lanes(graph, canonicals)
         options = adapter.engine_options(canonicals[0], self.options)
+        # Per-lane deadline tokens: duplicates share a lane, so the
+        # lane runs to the *latest* duplicate's deadline (a patient
+        # requester must not be cancelled by an impatient twin), and a
+        # single no-deadline duplicate means the lane runs unbounded.
+        lane_tokens: list[CancellationToken | None] = []
+        for dups in lanes.values():
+            deadlines = [t.deadline_at for t in dups]
+            if any(d is None for d in deadlines):
+                lane_tokens.append(None)
+            else:
+                lane_tokens.append(
+                    CancellationToken(
+                        deadline_at=max(deadlines), clock=self._clock
+                    )
+                )
         run = run_graph_programs_batched(
-            graph, programs, lane_properties, lane_active, options
+            graph, programs, lane_properties, lane_active, options,
+            lane_tokens=(
+                lane_tokens if any(t is not None for t in lane_tokens)
+                else None
+            ),
         )
         engine = _engine_summary(run)
         with self._lock:
             self._engine_seconds += run.total_seconds
             self._engine_supersteps += run.n_supersteps
             self._engine_edges += run.total_edges_processed
+            self._cancelled_lanes += run.lanes_cancelled
+            # Feasibility estimate for deadline admission: smooth, so
+            # one outlier batch neither opens nor slams the door.
+            if self._batch_seconds_ewma == 0.0:
+                self._batch_seconds_ewma = run.total_seconds
+            else:
+                self._batch_seconds_ewma = (
+                    0.7 * self._batch_seconds_ewma + 0.3 * run.total_seconds
+                )
         for lane, dups in enumerate(lanes.values()):
+            lane_stats = run.lane_stats[lane]
+            if lane_stats.cancelled:
+                # Never cache a cancelled lane: its properties are a
+                # truncated run, not the query's answer.
+                error = DeadlineExceededError(
+                    f"query cancelled after {lane_stats.n_supersteps} "
+                    f"superstep(s): {lane_stats.cancel_reason}",
+                    run_stats=lane_stats,
+                )
+                for ticket in dups:
+                    ticket.future.set_exception(error)
+                continue
             # Copy the lane slice out: a view would pin the whole (K, n)
             # batch block in memory for as long as the cache holds it.
             values = np.array(adapter.extract(run, lane), copy=True)
@@ -645,7 +790,17 @@ class GraphService:
                     "n_workers": self.options.n_workers,
                     "n_partitions": self.options.n_partitions,
                 },
+                "governance": {
+                    "default_deadline_s": self.default_deadline,
+                    "cancelled_lanes": self._cancelled_lanes,
+                    "deadline_refused": self._deadline_refused,
+                    "batch_seconds_ewma": self._batch_seconds_ewma,
+                },
             }
+        # Quota holds its own lock; attach outside the service lock.
+        service["governance"]["quota"] = (
+            self.quota.stats() if self.quota is not None else None
+        )
         service["scheduler"] = self._batcher.stats()
         service["cache"] = self.cache.stats()
         service["graphs"] = self.registry.describe()
@@ -709,5 +864,6 @@ def _engine_summary(run: BatchRun) -> dict:
         "seconds": run.total_seconds,
         "backend": run.backend,
         "converged": run.converged,
+        "lanes_cancelled": run.lanes_cancelled,
         "kernels": run.kernel_totals(),
     }

@@ -170,3 +170,161 @@ class TestBackoff:
         for attempt in range(8):
             pause = client._backoff(attempt)
             assert 0.0 <= pause <= min(2.0, 0.1 * 2**attempt)
+
+
+class TestDeadlineFailFast:
+    def test_never_sleeps_into_a_known_miss(self, rng):
+        """Retry-After far beyond the deadline: fail now, don't nap."""
+        server, url = _stub(
+            [(503, {"Retry-After": "30"}, b'{"error": "draining"}')] * 3
+        )
+        client = ServeClient(url, retries=5, rng=rng)
+        t0 = time.monotonic()
+        with pytest.raises(ClientError, match="failing fast"):
+            client.query("g", "bfs", {"root": 0}, deadline=0.3)
+        assert time.monotonic() - t0 < 0.3  # raised before the deadline
+        assert len(server.requests) == 1
+        server.shutdown()
+
+    def test_504_is_retried_within_budget(self, rng):
+        """A server-side deadline miss is retriable while the caller
+        still has time (another replica may be less loaded)."""
+        server, url = _stub(
+            [
+                (504, {"Retry-After": "0.01"}, b'{"error": "cancelled"}'),
+                (200, {}, b'{"ok": true}'),
+            ]
+        )
+        client = ServeClient(url, retries=2, rng=rng)
+        assert client.query("g", "bfs", {"root": 0}, deadline=10.0) == {
+            "ok": True
+        }
+        assert len(server.requests) == 2
+        server.shutdown()
+
+    def test_expired_deadline_raises_before_any_request(self, rng):
+        server, url = _stub([])
+        client = ServeClient(url, retries=2, rng=rng)
+        client_deadline = 1e-9  # effectively already expired
+        with pytest.raises(ClientError, match="deadline"):
+            for _ in range(50):  # one of these lands past the deadline
+                client.query("g", "bfs", {"root": 0}, deadline=client_deadline)
+        server.shutdown()
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_skips_the_endpoint(self, rng):
+        leader, lurl = _stub(
+            [(503, {"Retry-After": "0"}, b'{"error": "sick"}')] * 10
+        )
+        follower, furl = _stub([])  # empty script = always 200
+        client = ServeClient(
+            lurl, [furl], retries=2, rng=rng, breaker_threshold=1,
+            breaker_cooldown=60.0,
+        )
+        client.query("g", "bfs", {"root": 0})  # leader 503 -> follower
+        client.query("g", "bfs", {"root": 0})  # leader skipped outright
+        assert len(leader.requests) == 1, "open breaker still probed leader"
+        assert len(follower.requests) == 2
+        leader.shutdown()
+        follower.shutdown()
+
+    def test_half_open_trial_closes_on_success(self, rng):
+        leader, lurl = _stub(
+            [(503, {"Retry-After": "0"}, b'{"error": "sick"}')]
+        )
+        follower, furl = _stub([])
+        client = ServeClient(
+            lurl, [furl], retries=2, rng=rng, breaker_threshold=1,
+            breaker_cooldown=0.05,
+        )
+        client.query("g", "bfs", {"root": 0})  # opens the leader breaker
+        time.sleep(0.06)  # cooldown elapses; script exhausted -> 200 now
+        client.query("g", "bfs", {"root": 0})  # half-open trial succeeds
+        client.query("g", "bfs", {"root": 0})  # breaker closed again
+        assert len(leader.requests) == 3
+        leader.shutdown()
+        follower.shutdown()
+
+    def test_all_breakers_open_fails_immediately(self, rng):
+        server, url = _stub(
+            [(503, {"Retry-After": "0"}, b'{"error": "sick"}')] * 10
+        )
+        client = ServeClient(
+            url, retries=5, rng=rng, breaker_threshold=1,
+            breaker_cooldown=60.0,
+        )
+        with pytest.raises(ClientError, match="circuit breaker"):
+            client.query("g", "bfs", {"root": 0})
+        assert len(server.requests) == 1  # opened on the first refusal
+        server.shutdown()
+
+    def test_4xx_counts_as_breaker_success(self, rng):
+        """A malformed request proves the endpoint is healthy — it must
+        not open the breaker for everyone else."""
+        server, url = _stub(
+            [(400, {}, b'{"error": "bad root"}')] * 3
+        )
+        client = ServeClient(
+            url, retries=2, rng=rng, breaker_threshold=1,
+        )
+        for _ in range(3):
+            with pytest.raises(ClientError, match="bad root"):
+                client.query("g", "bfs", {"root": -1})
+        assert len(server.requests) == 3  # never skipped
+        server.shutdown()
+
+    def test_ready_bypasses_an_open_breaker(self, rng):
+        server, url = _stub(
+            [(503, {"Retry-After": "0"}, b'{"error": "sick"}')]
+        )
+        client = ServeClient(
+            url, retries=1, rng=rng, breaker_threshold=1,
+            breaker_cooldown=60.0,
+        )
+        with pytest.raises(ClientError):
+            client.query("g", "bfs", {"root": 0})
+        # The breaker is open, but probes exist to detect recovery.
+        assert client.ready() is True  # script exhausted -> 200
+        server.shutdown()
+
+
+class _HeaderRecordingHandler(_ScriptedHandler):
+    def _serve(self) -> None:
+        self.server.seen_headers.append(dict(self.headers))
+        _ScriptedHandler._serve(self)
+
+    do_GET = _serve
+    do_POST = _serve
+
+
+class TestGovernanceHeaders:
+    def _stub(self):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _HeaderRecordingHandler)
+        server.script = []
+        server.requests = []
+        server.seen_headers = []
+        server.lock = threading.Lock()
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        return server, "http://%s:%s" % server.server_address[:2]
+
+    def test_tenant_and_deadline_headers_are_sent(self, rng):
+        server, url = self._stub()
+        client = ServeClient(url, rng=rng, tenant="acme")
+        client.query("g", "bfs", {"root": 0}, deadline=5.0)
+        (headers,) = server.seen_headers
+        assert headers["X-Tenant"] == "acme"
+        # Remaining budget, not the original: <= 5000 ms and positive.
+        assert 0 < float(headers["X-Deadline-Ms"]) <= 5000
+        server.shutdown()
+
+    def test_per_call_tenant_overrides_client_default(self, rng):
+        server, url = self._stub()
+        client = ServeClient(url, rng=rng, tenant="acme")
+        client.query("g", "bfs", {"root": 0}, tenant="umbrella")
+        client.query("g", "bfs", {"root": 0})
+        first, second = server.seen_headers
+        assert first["X-Tenant"] == "umbrella"
+        assert second["X-Tenant"] == "acme"
+        assert "X-Deadline-Ms" not in first  # no deadline, no header
+        server.shutdown()

@@ -1,0 +1,250 @@
+"""Closed-loop adversarial governance harness (``-m stress``).
+
+Three populations hit one service at once:
+
+- a **runaway** tenant submits expensive PPR queries with deadlines it
+  cannot possibly meet,
+- a **flooding** tenant fires requests far above its token-bucket rate,
+- **well-behaved** tenants issue ordinary queries with sane deadlines.
+
+The containment claims under test: the well-behaved tenants' requests
+all complete, bitwise identical to sequential reference runs, within
+their deadlines; runaway lanes are cancelled at superstep granularity
+(the overrun past the deadline is bounded by a couple of superstep
+durations, asserted from :class:`RunStats`); and the flood is shed with
+429-style refusals that never leak into other tenants' error budgets.
+
+These are load tests with real clocks — serial ``stress`` CI lane, not
+the fast lane.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import run_bfs
+from repro.algorithms.pagerank import run_personalized_pagerank
+from repro.errors import DeadlineExceededError, QuotaExceededError
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.preprocess import symmetrize, with_random_weights
+from repro.serve import BatchPolicy, GraphRegistry, GraphService
+from repro.serve.quota import QuotaManager, TenantPolicy
+
+pytestmark = pytest.mark.stress
+
+#: Big enough that one PPR superstep costs real time (so a runaway
+#: cannot finish, let alone converge, inside its tiny deadline) while a
+#: full 1000-superstep run still fits a stress-lane budget.
+SCALE = 11
+
+RUNAWAY_DEADLINE = 0.05
+RUNAWAY_ITERATIONS = 1000
+
+
+@pytest.fixture(scope="module")
+def rmat():
+    return with_random_weights(
+        rmat_graph(scale=SCALE, edge_factor=8, seed=21), seed=22
+    )
+
+
+@pytest.fixture(scope="module")
+def rmat_sym(rmat):
+    return symmetrize(rmat)
+
+
+def _registry(rmat, rmat_sym):
+    registry = GraphRegistry()
+    registry.add_graph("dir", rmat)
+    registry.add_graph("sym", rmat_sym)
+    return registry
+
+
+def _overrun_ms(reason: str) -> float:
+    match = re.search(r"\(([\d.]+) ms past\)", reason)
+    assert match, f"unparseable cancel reason: {reason!r}"
+    return float(match.group(1))
+
+
+class TestRunawayContainment:
+    def test_cobatched_runaways_cancelled_survivors_bitwise(
+        self, rmat, rmat_sym
+    ):
+        """Two runaway lanes and two well-behaved lanes share one K=4
+        SpMM batch: the runaways must be cancelled at a superstep
+        boundary while the survivors' results stay bitwise identical to
+        sequential runs."""
+        policy = BatchPolicy(max_batch_k=4, max_wait_ms=5_000.0)
+        good_sources, runaway_sources = (1, 2), (3, 4)
+        with GraphService(_registry(rmat, rmat_sym), policy=policy) as service:
+            with ThreadPoolExecutor(4) as pool:
+                good = [
+                    pool.submit(
+                        service.query, "dir", "ppr",
+                        {"source": s, "iterations": RUNAWAY_ITERATIONS},
+                    )
+                    for s in good_sources
+                ]
+                runaway = [
+                    pool.submit(
+                        service.query, "dir", "ppr",
+                        {"source": s, "iterations": RUNAWAY_ITERATIONS},
+                        deadline=RUNAWAY_DEADLINE,
+                    )
+                    for s in runaway_sources
+                ]
+                results = [f.result(timeout=120) for f in good]
+                failures = []
+                for future in runaway:
+                    with pytest.raises(DeadlineExceededError) as excinfo:
+                        future.result(timeout=120)
+                    failures.append(excinfo.value)
+            governance = service.stats()["governance"]
+
+        # Survivors: bitwise equality with the sequential engine.
+        for source, result in zip(good_sources, results):
+            reference = run_personalized_pagerank(
+                rmat, source, max_iterations=RUNAWAY_ITERATIONS
+            )
+            assert np.array_equal(result.values, reference.ranks), (
+                f"survivor lane (source {source}) diverged from its "
+                f"sequential run after co-batched lanes were cancelled"
+            )
+            # They shared the batch with the runaways.
+            assert result.batch_k == 4
+
+        # Runaways: cancelled cooperatively, at superstep granularity.
+        assert governance["cancelled_lanes"] == 2
+        for failure in failures:
+            stats = failure.run_stats
+            assert stats is not None and stats.cancelled
+            assert "deadline exceeded" in stats.cancel_reason
+            assert 0 < stats.n_supersteps < RUNAWAY_ITERATIONS
+            # <= 2 supersteps past the deadline: the overrun reported at
+            # the boundary that noticed is bounded by twice the longest
+            # superstep the lane actually executed (plus scheduler
+            # noise).
+            superstep_ms = [
+                1e3 * it.seconds for it in stats.iterations if it.seconds > 0
+            ]
+            assert superstep_ms, "cancelled lane recorded no supersteps"
+            bound = 2.0 * max(superstep_ms) + 5.0
+            overrun = _overrun_ms(stats.cancel_reason)
+            assert overrun <= bound, (
+                f"cancellation lagged the deadline by {overrun:.1f} ms, "
+                f"more than two supersteps (~{bound:.1f} ms): "
+                f"not superstep-granular"
+            )
+
+
+class TestClosedLoopAdversarialMix:
+    def test_well_behaved_tenants_ride_out_the_storm(self, rmat, rmat_sym):
+        """Runaway + flood + well-behaved, concurrently, one service:
+        every well-behaved request completes correctly within its
+        deadline; the flood is shed with quota refusals; runaways are
+        cancelled — and none of it contaminates the others."""
+        quota = QuotaManager(
+            per_tenant={"flood": TenantPolicy(rate=20.0, burst=4)},
+        )
+        policy = BatchPolicy(max_batch_k=8, max_wait_ms=2.0, max_queue=64)
+        stop = threading.Event()
+        flood_outcomes = {"ok": 0, "shed": 0, "other": 0}
+        runaway_outcomes = {"cancelled": 0, "expired": 0, "other": 0}
+
+        with GraphService(
+            _registry(rmat, rmat_sym), policy=policy, quota=quota
+        ) as service:
+
+            def flood() -> None:
+                root = 0
+                while not stop.is_set():
+                    root = (root + 1) % rmat_sym.n_vertices
+                    try:
+                        service.query(
+                            "sym", "bfs", {"root": root}, tenant="flood",
+                            deadline=30.0,
+                        )
+                        flood_outcomes["ok"] += 1
+                    except QuotaExceededError:
+                        flood_outcomes["shed"] += 1
+                    except Exception:
+                        flood_outcomes["other"] += 1
+
+            def runaways() -> None:
+                source = 0
+                while not stop.is_set():
+                    source = (source + 1) % rmat.n_vertices
+                    try:
+                        service.query(
+                            "dir", "ppr",
+                            {
+                                "source": source,
+                                "iterations": RUNAWAY_ITERATIONS,
+                            },
+                            tenant="runaway",
+                            deadline=RUNAWAY_DEADLINE,
+                        )
+                        runaway_outcomes["other"] += 1  # should not finish
+                    except DeadlineExceededError as exc:
+                        if exc.run_stats is not None:
+                            runaway_outcomes["cancelled"] += 1
+                        else:
+                            runaway_outcomes["expired"] += 1
+                    except Exception:
+                        runaway_outcomes["other"] += 1
+
+            adversaries = [
+                threading.Thread(target=flood, daemon=True),
+                threading.Thread(target=flood, daemon=True),
+                threading.Thread(target=runaways, daemon=True),
+            ]
+            for thread in adversaries:
+                thread.start()
+
+            # The well-behaved closed loop, under way while the storm
+            # rages: every request must finish, in time, correctly.
+            well_behaved_roots = [5, 17, 101, 255, 600]
+            latencies = []
+            try:
+                for _ in range(4):
+                    for tenant in ("alice", "bob"):
+                        for root in well_behaved_roots:
+                            t0 = time.monotonic()
+                            result = service.query(
+                                "sym", "bfs", {"root": root},
+                                tenant=tenant, deadline=30.0,
+                            )
+                            latencies.append(time.monotonic() - t0)
+                            expected = run_bfs(rmat_sym, root).distances
+                            assert np.array_equal(result.values, expected)
+            finally:
+                stop.set()
+                for thread in adversaries:
+                    thread.join(timeout=60)
+            stats = service.stats()
+
+        assert max(latencies) < 30.0, "a well-behaved request blew its deadline"
+        # The flood was actually flooding, and actually shed.
+        assert flood_outcomes["shed"] > 0, f"flood never shed: {flood_outcomes}"
+        assert flood_outcomes["other"] == 0, f"flood saw {flood_outcomes}"
+        # Runaways were contained — cancelled mid-run or dropped while
+        # queued, never left running.
+        assert runaway_outcomes["cancelled"] > 0, (
+            f"no runaway was engine-cancelled: {runaway_outcomes}"
+        )
+        assert runaway_outcomes["other"] == 0, (
+            f"a runaway finished or failed oddly: {runaway_outcomes}"
+        )
+        tenants = stats["governance"]["quota"]["tenants"]
+        assert tenants["flood"]["rejected_rate"] == flood_outcomes["shed"]
+        assert tenants["alice"]["admitted"] == 20
+        assert tenants["alice"].get("rejected_rate", 0) == 0
+        assert stats["governance"]["cancelled_lanes"] >= (
+            runaway_outcomes["cancelled"]
+        )

@@ -1,0 +1,147 @@
+"""Per-tenant token-bucket admission (:mod:`repro.serve.quota`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuotaExceededError, ServeError
+from repro.serve.quota import DEFAULT_TENANT, QuotaManager, TenantPolicy
+
+
+class _FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTenantPolicy:
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            TenantPolicy(rate=0)
+        with pytest.raises(ServeError):
+            TenantPolicy(burst=0.5)
+        with pytest.raises(ServeError):
+            TenantPolicy(max_in_flight=0)
+        with pytest.raises(ServeError):
+            TenantPolicy(max_queue_share=0)
+        with pytest.raises(ServeError):
+            TenantPolicy(max_queue_share=1.5)
+
+    def test_effective_burst_defaults_to_rate(self):
+        assert TenantPolicy(rate=8.0).effective_burst == 8.0
+        assert TenantPolicy(rate=0.25).effective_burst == 1.0
+        assert TenantPolicy(rate=4.0, burst=2.0).effective_burst == 2.0
+        assert TenantPolicy.unlimited().effective_burst == 1.0
+
+
+class TestRateBucket:
+    def test_burst_then_refill(self):
+        clock = _FakeClock()
+        quota = QuotaManager(
+            default=TenantPolicy(rate=2.0, burst=3), clock=clock
+        )
+        for _ in range(3):
+            quota.admit("a")
+        with pytest.raises(QuotaExceededError, match="exceeded its rate"):
+            quota.admit("a")
+        # 2 req/s refill: after 1 s two more tokens are available.
+        clock.now += 1.0
+        quota.admit("a")
+        quota.admit("a")
+        with pytest.raises(QuotaExceededError):
+            quota.admit("a")
+
+    def test_retry_after_reflects_the_deficit(self):
+        clock = _FakeClock()
+        quota = QuotaManager(
+            default=TenantPolicy(rate=0.5, burst=1), clock=clock
+        )
+        quota.admit("a")
+        with pytest.raises(QuotaExceededError) as excinfo:
+            quota.admit("a")
+        # Empty bucket at 0.5 tokens/s: the next token is ~2 s away.
+        assert excinfo.value.retry_after == pytest.approx(2.0)
+        assert excinfo.value.tenant == "a"
+
+    def test_refusals_do_not_burn_rate_budget(self):
+        clock = _FakeClock()
+        quota = QuotaManager(
+            default=TenantPolicy(rate=1.0, burst=1), clock=clock
+        )
+        quota.admit("a")
+        for _ in range(10):  # a refusal storm must not push Retry-After out
+            with pytest.raises(QuotaExceededError):
+                quota.admit("a")
+        clock.now += 1.0
+        quota.admit("a")  # exactly one second later, one token: admitted
+
+    def test_tenants_have_independent_buckets(self):
+        clock = _FakeClock()
+        quota = QuotaManager(
+            default=TenantPolicy(rate=1.0, burst=1), clock=clock
+        )
+        quota.admit("a")
+        with pytest.raises(QuotaExceededError):
+            quota.admit("a")
+        quota.admit("b")  # b's bucket is untouched by a's flood
+
+
+class TestCaps:
+    def test_in_flight_cap_and_release(self):
+        quota = QuotaManager(default=TenantPolicy(max_in_flight=2))
+        quota.admit("a")
+        quota.admit("a")
+        with pytest.raises(QuotaExceededError, match="in flight"):
+            quota.admit("a")
+        quota.release("a")
+        quota.admit("a")
+
+    def test_queue_share_cap(self):
+        quota = QuotaManager(default=TenantPolicy(max_queue_share=0.25))
+        quota.admit("a", max_queue=8)
+        quota.admit("a", max_queue=8)
+        with pytest.raises(QuotaExceededError, match="queue share"):
+            quota.admit("a", max_queue=8)
+        # Without a max_queue (embedded callers) the share cap is moot.
+        quota.admit("a")
+
+    def test_per_tenant_policy_overrides_default(self):
+        quota = QuotaManager(
+            default=TenantPolicy(max_in_flight=1),
+            per_tenant={"vip": TenantPolicy.unlimited()},
+        )
+        quota.admit("vip")
+        quota.admit("vip")
+        quota.admit("other")
+        with pytest.raises(QuotaExceededError):
+            quota.admit("other")
+
+
+class TestIdentity:
+    def test_none_falls_back_to_default_tenant(self):
+        quota = QuotaManager(default=TenantPolicy(max_in_flight=1))
+        assert quota.admit(None) == DEFAULT_TENANT
+        with pytest.raises(QuotaExceededError):
+            quota.admit(None)
+        quota.release(None)
+        quota.admit(None)
+
+    def test_release_of_unknown_tenant_is_harmless(self):
+        QuotaManager().release("never-admitted")
+
+    def test_stats_counters(self):
+        quota = QuotaManager(
+            default=TenantPolicy(rate=1.0, burst=1, max_in_flight=5)
+        )
+        quota.admit("a")
+        with pytest.raises(QuotaExceededError):
+            quota.admit("a")
+        stats = quota.stats()
+        assert stats["default_policy"]["rate"] == 1.0
+        tenant = stats["tenants"]["a"]
+        assert tenant["admitted"] == 1
+        assert tenant["in_flight"] == 1
+        assert tenant["rejected_rate"] == 1
+        assert tenant["policy"]["max_in_flight"] == 5

@@ -24,6 +24,8 @@ from repro.algorithms.pagerank import run_personalized_pagerank
 from repro.algorithms.sssp import run_sssp
 from repro.errors import (
     BadQueryError,
+    DeadlineExceededError,
+    QuotaExceededError,
     ServeError,
     ServiceOverloadedError,
     UnknownGraphError,
@@ -523,3 +525,245 @@ class TestGraphService:
         full = result.to_dict()
         assert len(full["values"]) == rmat_sym.n_vertices
         json.dumps(full)  # inf distances must serialize (as null)
+
+
+# ----------------------------------------------------------------------
+# Deadline governance: dispatch-time expiry + service admission
+# ----------------------------------------------------------------------
+class TestSchedulerDeadlines:
+    def test_expired_ticket_fails_without_dispatch(self):
+        executor = _StubExecutor()
+        with MicroBatcher(
+            executor, BatchPolicy(max_batch_k=4, max_wait_ms=0.0)
+        ) as batcher:
+            dead = Ticket(
+                group="g", payload=0, deadline_at=time.monotonic() - 1.0
+            )
+            future = batcher.submit(dead)
+            with pytest.raises(DeadlineExceededError, match="while queued"):
+                future.result(timeout=10)
+        assert executor.batches == []  # no engine lane was spent
+        stats = batcher.stats()
+        assert stats["expired"] == 1
+        assert stats["dispatches"] == 0
+
+    def test_mixed_batch_drops_only_the_expired(self):
+        executor = _StubExecutor()
+        with MicroBatcher(
+            executor, BatchPolicy(max_batch_k=2, max_wait_ms=LONG_WAIT_MS)
+        ) as batcher:
+            live = Ticket(
+                group="g", payload=0, deadline_at=time.monotonic() + 60.0
+            )
+            dead = Ticket(
+                group="g", payload=1, deadline_at=time.monotonic() - 1.0
+            )
+            live_future = batcher.submit(live)
+            dead_future = batcher.submit(dead)  # fills the K=2 batch
+            assert live_future.result(timeout=10) == ("g", 1)
+            with pytest.raises(DeadlineExceededError):
+                dead_future.result(timeout=10)
+        stats = batcher.stats()
+        assert stats["expired"] == 1
+        assert stats["dispatches"] == 1
+        assert stats["lanes_dispatched"] == 1  # the dead lane not counted
+
+    def test_expired_crash_point_still_resolves_futures(self):
+        """The ``raise`` action at serve.dispatch.expired must neither
+        strand the expired callers nor kill the dispatcher."""
+        from repro import faults
+        from repro.faults import InjectedFault
+
+        executor = _StubExecutor()
+        faults.activate("serve.dispatch.expired=raise")
+        try:
+            with MicroBatcher(
+                executor, BatchPolicy(max_batch_k=4, max_wait_ms=0.0)
+            ) as batcher:
+                dead = Ticket(
+                    group="g", payload=0, deadline_at=time.monotonic() - 1.0
+                )
+                future = batcher.submit(dead)
+                with pytest.raises(InjectedFault):
+                    future.result(timeout=10)
+                # The dispatcher survived: later traffic still flows.
+                after = batcher.submit(Ticket(group="g", payload=1))
+                assert after.result(timeout=10) == ("g", 1)
+        finally:
+            faults.deactivate()
+
+    def test_overdue_group_wins_under_sustained_full_queues(self):
+        """The hot group's queue is refilled to full before *every*
+        dispatch decision, so the full-batch fast path is available at
+        each step — the lone overdue request must still dispatch next
+        rather than whenever the hot stream pauses."""
+        step = threading.Semaphore(0)
+
+        class _SteppedExecutor(_StubExecutor):
+            def __call__(self, group, tickets):
+                assert step.acquire(timeout=30)
+                _StubExecutor.__call__(self, group, tickets)
+
+        executor = _SteppedExecutor()
+        pending = []
+        batcher = MicroBatcher(
+            executor, BatchPolicy(max_batch_k=2, max_wait_ms=30.0)
+        )
+
+        def _wait_batches(count):
+            deadline = time.time() + 10
+            while len(executor.batches) < count and time.time() < deadline:
+                time.sleep(0.001)
+            assert len(executor.batches) >= count
+
+        try:
+            # A full hot batch dispatches immediately and parks the
+            # dispatcher on the semaphore.
+            pending += [
+                batcher.submit(Ticket(group="hot", payload=i))
+                for i in range(2)
+            ]
+            deadline = time.time() + 10
+            while batcher.pending and time.time() < deadline:
+                time.sleep(0.001)
+            pending.append(batcher.submit(Ticket(group="lone", payload=0)))
+            time.sleep(0.06)  # lone is now past its 30 ms window
+            # Sustained pressure: refill hot to a full, *young* queue
+            # before releasing each dispatch decision.
+            for round_number in range(3):
+                pending += [
+                    batcher.submit(
+                        Ticket(group="hot", payload=(round_number, i))
+                    )
+                    for i in range(2)
+                ]
+                # Each release lets the currently-parked batch finish;
+                # the dispatcher then makes its next decision with the
+                # hot queue freshly full.
+                step.release()
+                _wait_batches(round_number + 1)
+            for _ in range(4):  # drain whatever is left
+                step.release()
+            for future in pending:
+                future.result(timeout=10)
+        finally:
+            for _ in range(8):
+                step.release()
+            batcher.close()
+        groups = [group for group, _ in executor.batches]
+        assert groups[0] == "hot"
+        assert groups[1] == "lone", (
+            f"overdue lone request starved by sustained full queues: {groups}"
+        )
+
+
+class TestServiceGovernance:
+    def test_infeasible_deadline_refused_at_admission(self, registry):
+        policy = BatchPolicy(max_batch_k=8, max_wait_ms=LONG_WAIT_MS)
+        with GraphService(registry, policy=policy) as service:
+            # Pretend history: batches take ~10 s each.
+            with service._lock:
+                service._batch_seconds_ewma = 10.0
+            with ThreadPoolExecutor(1) as pool:
+                queued = pool.submit(
+                    service.query, "sym", "bfs", {"root": 1}
+                )
+                deadline = time.time() + 10
+                while not service._batcher.pending and time.time() < deadline:
+                    time.sleep(0.001)
+                with pytest.raises(
+                    DeadlineExceededError, match="refused at admission"
+                ):
+                    service.query("sym", "bfs", {"root": 2}, deadline=0.5)
+                governance = service.stats()["governance"]
+                assert governance["deadline_refused"] == 1
+                assert queued.result(timeout=30) is not None
+
+    def test_runaway_lane_cancelled_with_run_stats(self, registry, rmat):
+        policy = BatchPolicy(max_batch_k=1, max_wait_ms=0.0)
+        with GraphService(registry, policy=policy) as service:
+            with pytest.raises(
+                DeadlineExceededError, match="query cancelled after"
+            ) as excinfo:
+                service.query(
+                    "dir", "ppr",
+                    {"source": 0, "iterations": 1000},
+                    deadline=0.005,
+                )
+            stats = excinfo.value.run_stats
+            assert stats is not None and stats.cancelled
+            assert "deadline exceeded" in stats.cancel_reason
+            assert 0 < stats.n_supersteps < 1000
+            governance = service.stats()["governance"]
+            assert governance["cancelled_lanes"] == 1
+            # A truncated run is not the query's answer: nothing cached.
+            assert service.stats()["cache"]["entries"] == 0
+
+    def test_dedup_lane_runs_to_the_most_patient_twin(
+        self, registry, rmat
+    ):
+        """Identical queries share a lane; a no-deadline twin means the
+        lane must NOT be cancelled by its impatient sibling."""
+        policy = BatchPolicy(max_batch_k=2, max_wait_ms=LONG_WAIT_MS)
+        params = {"source": 5, "iterations": 40}
+        with GraphService(registry, policy=policy) as service:
+            with ThreadPoolExecutor(2) as pool:
+                impatient = pool.submit(
+                    service.query, "dir", "ppr", dict(params),
+                    deadline=30.0,
+                )
+                patient = pool.submit(
+                    service.query, "dir", "ppr", dict(params)
+                )
+                results = [impatient.result(30), patient.result(30)]
+        expected = run_personalized_pagerank(
+            rmat, 5, max_iterations=40
+        ).ranks
+        for result in results:
+            assert np.array_equal(result.values, expected)
+
+    def test_quota_governs_admission_not_validation(self, registry):
+        from repro.serve.quota import QuotaManager, TenantPolicy
+
+        quota = QuotaManager(default=TenantPolicy(rate=1.0, burst=1))
+        with _service(registry, quota=quota) as service:
+            # Malformed requests are rejected before quota: no token burnt.
+            with pytest.raises(BadQueryError):
+                service.query("sym", "bfs", {"root": -1}, tenant="a")
+            service.query("sym", "bfs", {"root": 1}, tenant="a")
+            with pytest.raises(QuotaExceededError) as excinfo:
+                service.query("sym", "bfs", {"root": 2}, tenant="a")
+            assert excinfo.value.retry_after > 0
+            # Another tenant is untouched by a's exhaustion.
+            service.query("sym", "bfs", {"root": 3}, tenant="b")
+            tenants = service.stats()["governance"]["quota"]["tenants"]
+            assert tenants["a"]["admitted"] == 1
+            assert tenants["a"]["rejected_rate"] == 1
+            assert tenants["a"]["in_flight"] == 0  # released after answer
+            assert tenants["b"]["admitted"] == 1
+
+    def test_default_deadline_applies_when_request_names_none(
+        self, registry
+    ):
+        with _service(registry, default_deadline=1e-9) as service:
+            # Every undeadlined request inherits the (hopeless) default.
+            with pytest.raises(DeadlineExceededError):
+                service.query("sym", "bfs", {"root": 0})
+            # An explicit deadline overrides it.
+            result = service.query("sym", "bfs", {"root": 0}, deadline=30.0)
+            assert result.values is not None
+
+    def test_bad_deadline_rejected(self, registry):
+        with _service(registry) as service:
+            with pytest.raises(BadQueryError, match="deadline"):
+                service.query("sym", "bfs", {"root": 0}, deadline=0)
+            with pytest.raises(BadQueryError, match="deadline"):
+                service.query("sym", "bfs", {"root": 0}, deadline="soon")
+
+    def test_governance_stats_shape(self, registry):
+        with _service(registry) as service:
+            governance = json.loads(json.dumps(service.stats()))["governance"]
+        assert governance["quota"] is None
+        assert governance["cancelled_lanes"] == 0
+        assert governance["deadline_refused"] == 0
+        assert governance["batch_seconds_ewma"] == 0.0

@@ -258,3 +258,162 @@ class TestServeCLI:
             args = _build_parser().parse_args(argv)
             with pytest.raises(ReproError):
                 build_service(args)
+
+
+# ----------------------------------------------------------------------
+# Governance over HTTP: deadlines, tenants, 429/504 mapping
+# ----------------------------------------------------------------------
+def _post_raw(server, path, body, headers=None):
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as reply:
+            return reply.status, dict(reply.headers), json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+@pytest.fixture()
+def quota_server(sym):
+    from repro.serve.quota import QuotaManager, TenantPolicy
+
+    registry = GraphRegistry()
+    registry.add_graph("g", sym)
+    service = GraphService(
+        registry,
+        policy=BatchPolicy(max_batch_k=8, max_wait_ms=1.0),
+        quota=QuotaManager(default=TenantPolicy(rate=1.0, burst=1)),
+    )
+    http_server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+    http_server.server_close()
+    service.close()
+
+
+class TestGovernanceHTTP:
+    # Roots 200+ are never queried elsewhere in this module: the shared
+    # server's cache must not already hold the answers (a cache hit is
+    # served even past the deadline — pinned below).
+    def test_deadline_ms_body_param_maps_to_504(self, server):
+        # An (effectively) already-expired deadline is refused at
+        # admission and surfaces as retriable 504 + Retry-After.
+        status, headers, document = _post_raw(
+            server, "/query/bfs",
+            {"graph": "g", "root": 200, "deadline_ms": 1e-6},
+        )
+        assert status == 504
+        assert "Retry-After" in headers
+        assert "deadline" in document["error"]
+
+    def test_deadline_header_when_body_names_none(self, server):
+        status, headers, document = _post_raw(
+            server, "/query/bfs", {"graph": "g", "root": 201},
+            headers={"X-Deadline-Ms": "0.000001"},
+        )
+        assert status == 504
+
+    def test_body_deadline_wins_over_header(self, server):
+        status, _, document = _post_raw(
+            server, "/query/bfs",
+            {"graph": "g", "root": 202, "deadline_ms": 60_000},
+            headers={"X-Deadline-Ms": "0.000001"},
+        )
+        assert status == 200
+
+    def test_cache_hit_is_served_even_past_the_deadline(self, server):
+        """Deadline governance guards engine work; a cached answer is
+        free and is returned rather than refused."""
+        status, _, _ = _post_raw(
+            server, "/query/bfs", {"graph": "g", "root": 203}
+        )
+        assert status == 200
+        status, _, document = _post_raw(
+            server, "/query/bfs",
+            {"graph": "g", "root": 203, "deadline_ms": 1e-6},
+        )
+        assert status == 200
+        assert document["cached"] is True
+
+    def test_bad_deadline_is_a_400(self, server):
+        for bad in ("soon", -5, 0):
+            status, _, document = _post_raw(
+                server, "/query/bfs",
+                {"graph": "g", "root": 0, "deadline_ms": bad},
+            )
+            assert status == 400, f"deadline_ms={bad!r} not rejected"
+            assert "deadline" in document["error"]
+
+    def test_quota_flood_gets_429_with_retry_after(self, quota_server):
+        body = {"graph": "g", "root": 0}
+        status, _, _ = _post_raw(
+            quota_server, "/query/bfs", body, headers={"X-Tenant": "noisy"}
+        )
+        assert status == 200
+        status, headers, document = _post_raw(
+            quota_server, "/query/bfs", body, headers={"X-Tenant": "noisy"}
+        )
+        assert status == 429
+        assert float(headers["Retry-After"]) > 0
+        assert "rate" in document["error"]
+        # A different tenant is admitted while 'noisy' is shed.
+        status, _, _ = _post_raw(
+            quota_server, "/query/bfs", body, headers={"X-Tenant": "polite"}
+        )
+        assert status == 200
+
+    def test_stats_surface_governance_counters(self, quota_server):
+        body = {"graph": "g", "root": 3}
+        _post_raw(
+            quota_server, "/query/bfs", body, headers={"X-Tenant": "alice"}
+        )
+        status, document = _get(quota_server, "/stats")
+        assert status == 200
+        governance = document["governance"]
+        assert governance["quota"]["tenants"]["alice"]["admitted"] == 1
+        assert "cancelled_lanes" in governance
+        assert "deadline_refused" in governance
+
+
+class TestGovernanceCLI:
+    def test_governance_flags_build_quota_and_deadline(self, tmp_path, sym):
+        path = tmp_path / "g.gmsnap"
+        save_snapshot(sym, path)
+        args = _build_parser().parse_args(
+            [
+                "--graph", f"g={path}",
+                "--default-deadline-ms", "5000",
+                "--tenant-rate", "10",
+                "--tenant-burst", "20",
+                "--tenant-max-inflight", "4",
+                "--tenant-queue-share", "0.5",
+            ]
+        )
+        service = build_service(args)
+        try:
+            assert service.default_deadline == 5.0
+            policy = service.quota.default
+            assert policy.rate == 10.0
+            assert policy.burst == 20.0
+            assert policy.max_in_flight == 4
+            assert policy.max_queue_share == 0.5
+        finally:
+            service.close()
+
+    def test_governance_defaults_off(self, tmp_path, sym):
+        path = tmp_path / "g.gmsnap"
+        save_snapshot(sym, path)
+        args = _build_parser().parse_args(["--graph", f"g={path}"])
+        service = build_service(args)
+        try:
+            assert service.quota is None
+            assert service.default_deadline is None
+        finally:
+            service.close()

@@ -712,6 +712,7 @@ class TestRegressionGate:
             "BENCH_ingest.json",
             "BENCH_batch.json",
             "BENCH_serve.json",
+            "BENCH_governance.json",
         ):
             record = json.loads(
                 (BENCHMARKS_DIR / "baselines" / name).read_text()
