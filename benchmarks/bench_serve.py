@@ -3,12 +3,14 @@
 Emits ``BENCH_serve.json`` (repo root by default) recording throughput,
 p50/p99 latency, achieved mean batch size and cache hit rate for a
 closed-loop mixed BFS/SSSP/personalized-PageRank load against the
-``repro.serve`` query service, in three configurations: no batching
-(``max_batch_k=1`` per request), micro-batched, and micro-batched with
-the result cache on a repeat-heavy workload.  Every response of the
-timed unbatched and batched phases is verified bitwise against a
-sequential reference run.  The full-scale record (scale 16) carries the
-PR's acceptance claim: batched >= 3x unbatched throughput.
+``repro.serve`` query service: no batching (``max_batch_k=1`` per
+request), micro-batched, micro-batched with the full observability
+stack attached (``ServeTelemetry``: metrics + traces + profile hook),
+and micro-batched with the result cache on a repeat-heavy workload.
+Every response of the timed unbatched and batched phases is verified
+bitwise against a sequential reference run.  The full-scale record
+(scale 16) carries the PR's acceptance claims: batched >= 3x unbatched
+throughput, and instrumented >= 0.95x batched throughput.
 
 Run standalone::
 
@@ -76,14 +78,20 @@ def test_serve_bench_smoke(tmp_path):
     )
     out = write_serve_record(record, tmp_path / "BENCH_serve.json")
     assert out.exists()
-    for phase in ("unbatched", "unbatched_service", "batched"):
+    for phase in ("unbatched", "unbatched_service", "batched",
+                  "instrumented"):
         cell = record[phase]
         assert cell["parity_checked"] == cell["requests"]
         assert cell["cached_responses"] == 0
+        assert cell["p50_ms"] > 0.0
+        assert cell["p99_ms"] >= cell["p50_ms"]
     assert record["unbatched"]["mean_batch_k"] == 1.0
     assert record["unbatched_service"]["mean_batch_k"] == 1.0
     assert record["batched"]["mean_batch_k"] > 1.0
+    assert record["instrumented"]["mean_batch_k"] > 1.0
     assert record["speedup"]["batched_vs_unbatched"] > 1.0
+    assert record["overhead"]["instrumented_throughput_ratio"] > 0.0
+    assert "meets_overhead_target" in record["acceptance"]
     assert record["cached"]["hit_rate"] > 0.25
     assert not record["acceptance"]["at_acceptance_scale"]
 

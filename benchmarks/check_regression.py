@@ -139,6 +139,15 @@ RATIO_FLOORS = {
     "fairness.good_success_rate": 0.95,
     "fairness.flood_rejected_fraction": 0.05,
     "overhead.plain_vs_token": 0.75,
+    # Observability gate: the instrumented serving phase (metrics +
+    # traces + profile hook live) must hold most of plain batched
+    # throughput even on short CI smoke runs.  The 0.95 acceptance bar
+    # applies to the committed full-scale BENCH_serve.json (asserted by
+    # bench_serve's own acceptance block); 0.75 here tolerates the
+    # timing noise of ~0.1 s smoke phases (observed spread 0.81-1.02
+    # across repeated runs) while still catching a hot-path regression
+    # such as lock contention, which costs far more than 25%.
+    "overhead.instrumented_throughput_ratio": 0.75,
 }
 
 
@@ -244,7 +253,13 @@ def extract_metrics(record: dict) -> dict[str, tuple[float, str]]:
         if value is not None:
             metrics["parity.follower_bitwise"] = (float(value), "floor")
     elif benchmark == "bench_serve":
-        for phase in ("unbatched", "unbatched_service", "batched", "cached"):
+        # The instrumented phase is deliberately absent from the wall-time
+        # checks: its regression signal is the throughput ratio against the
+        # batched phase (floor below), and a separate time bound would
+        # double-count the same noise batched.seconds already gates.
+        for phase in (
+            "unbatched", "unbatched_service", "batched", "cached",
+        ):
             value = _dig(record, f"{phase}.seconds")
             if value is not None:
                 metrics[f"{phase}.seconds"] = (float(value), "time")
@@ -255,6 +270,7 @@ def extract_metrics(record: dict) -> dict[str, tuple[float, str]]:
             "speedup.batched_vs_unbatched",
             "batched.mean_batch_k",
             "cached.hit_rate",
+            "overhead.instrumented_throughput_ratio",
         ):
             value = _dig(record, name)
             if value is not None:

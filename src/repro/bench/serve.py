@@ -20,15 +20,21 @@ configurations over the same request stream:
 - ``batched``           — ``max_batch_k=K``, cache off: the
   micro-batching scheduler coalesces concurrent same-kind requests into
   K-lane sweeps,
+- ``instrumented``      — the ``batched`` configuration with the full
+  observability stack attached (:class:`~repro.obs.serving.ServeTelemetry`:
+  per-request metrics, traces, the engine profile hook).  Its only
+  purpose is the overhead ratio: instrumented throughput must stay
+  within 5% of plain ``batched`` throughput,
 - ``cached``            — batching plus the result cache, on a workload
   with repeated queries (hot roots / popular personalization vertices).
 
 Each phase reports throughput, p50/p99 latency and the achieved mean
 batch size; every response of every uncached phase is compared bitwise
 against an independently computed sequential reference, so the speedups
-are at equal correctness by construction.  The acceptance target
+are at equal correctness by construction.  The acceptance targets
 (full-scale record, scale >= 16: batched >= 3x the unbatched baseline's
-throughput) is embedded in the emitted ``BENCH_serve.json``.
+throughput; instrumented >= 0.95x batched) are embedded in the emitted
+``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ from repro.core.options import EngineOptions
 from repro.errors import BenchmarkError
 from repro.graph.generators.rmat import rmat_graph
 from repro.graph.preprocess import symmetrize
+from repro.obs.serving import ServeTelemetry
 from repro.serve.cache import ResultCache
 from repro.serve.registry import GraphRegistry
 from repro.serve.scheduler import BatchPolicy
@@ -55,6 +62,10 @@ from repro.serve.service import GraphService
 #: The acceptance bar for the full-scale record (scale >= 16).
 THROUGHPUT_TARGET = 3.0
 ACCEPTANCE_SCALE = 16
+
+#: Instrumented throughput must stay within 5% of plain batched
+#: throughput: observability that taxes the hot path is a regression.
+OVERHEAD_TARGET_RATIO = 0.95
 
 #: (graph name, query kind) per workload slot; the mix cycles through
 #: all three engine-backed query kinds.
@@ -269,6 +280,7 @@ def _service(
     max_wait_ms: float,
     n_clients: int,
     cache_capacity: int,
+    telemetry: ServeTelemetry | None = None,
 ) -> GraphService:
     return GraphService(
         registry,
@@ -280,6 +292,7 @@ def _service(
             max_queue=max(256, 4 * n_clients),
         ),
         cache=ResultCache(capacity=cache_capacity),
+        telemetry=telemetry,
     )
 
 
@@ -350,6 +363,19 @@ def bench_serve(
         record["batched"] = _drive(
             service, workload, n_clients, references=references
         )
+    # Same configuration and request stream as ``batched``, but with the
+    # full observability stack live: every request traced and recorded
+    # into the Prometheus registry, every superstep reported through the
+    # profile hook.  The record's overhead ratio is the acceptance bar
+    # for "observability is effectively free on the hot path".
+    with _service(
+        registry, max_batch_k=n_lanes, max_wait_ms=max_wait_ms,
+        n_clients=n_clients, cache_capacity=0,
+        telemetry=ServeTelemetry(),
+    ) as service:
+        record["instrumented"] = _drive(
+            service, workload, n_clients, references=references
+        )
 
     cached_workload = _build_workload(
         graphs, n_lanes, pr_iterations, repeats=cache_repeats, seed=seed + 1
@@ -379,10 +405,16 @@ def bench_serve(
             "unbatched_service", "unbatched"
         ),
     }
+    overhead_ratio = _ratio("instrumented", "batched")
+    record["overhead"] = {
+        "instrumented_throughput_ratio": overhead_ratio,
+    }
     record["acceptance"] = {
         "target_throughput_ratio": THROUGHPUT_TARGET,
         "at_acceptance_scale": scale >= ACCEPTANCE_SCALE,
         "meets_target": speedup >= THROUGHPUT_TARGET,
+        "overhead_target_ratio": OVERHEAD_TARGET_RATIO,
+        "meets_overhead_target": overhead_ratio >= OVERHEAD_TARGET_RATIO,
     }
     return record
 
@@ -405,7 +437,10 @@ def summarize(record: dict) -> str:
         f"{'phase':<17} {'req':>5} {'s':>8} {'qps':>8} {'p50 ms':>8} "
         f"{'p99 ms':>9} {'mean K':>7} {'hit rate':>9}",
     ]
-    for phase in ("unbatched", "unbatched_service", "batched", "cached"):
+    phases = (
+        "unbatched", "unbatched_service", "batched", "instrumented", "cached"
+    )
+    for phase in phases:
         cell = record[phase]
         hit_rate = f"{cell['hit_rate']:>8.0%}" if "hit_rate" in cell else (
             " " * 8 + "-"
@@ -421,6 +456,12 @@ def summarize(record: dict) -> str:
         f"(vs K=1 service: "
         f"{record['speedup']['batched_vs_unbatched_service']:.2f}x)"
     )
+    if "overhead" in record:
+        ratio = record["overhead"]["instrumented_throughput_ratio"]
+        lines.append(
+            f"observability overhead: instrumented at {ratio:.1%} of "
+            f"batched throughput"
+        )
     acc = record["acceptance"]
     if acc["at_acceptance_scale"]:
         status = "PASS" if acc["meets_target"] else "FAIL"

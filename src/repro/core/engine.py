@@ -571,6 +571,8 @@ def run_graph_program(
                     frontier_density=messages_sent / n if n else 0.0,
                 )
             )
+            if options.profile_hook is not None:
+                options.profile_hook(stats.iterations[-1])
             iteration += 1
     finally:
         if owns_executor:
@@ -1075,6 +1077,8 @@ def run_graph_programs_batched(
                     ),
                 )
             )
+            if options.profile_hook is not None:
+                options.profile_hook(run.iterations[-1])
             iteration += 1
     finally:
         executor.close()

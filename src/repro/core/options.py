@@ -46,6 +46,7 @@ number of matrix partitions; everything else defaults on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.core.cancellation import CancellationToken
 from repro.errors import ProgramError
@@ -127,6 +128,15 @@ class EngineOptions:
     #: configuration (two runs with different tokens still share caches
     #: keyed on options).
     token: CancellationToken | None = field(default=None, compare=False)
+    #: Optional per-superstep profiling hook: called once per completed
+    #: superstep with that superstep's :class:`~repro.core.engine.
+    #: IterationStats` (timings, frontier density, kernel counts) as the
+    #: run records it.  The cost when unset is a single ``is not None``
+    #: check per superstep; when set, the hook runs on the engine thread
+    #: and must be fast and must not raise.  Like ``token``, excluded
+    #: from equality/hashing — profiling is per-run instrumentation, not
+    #: engine configuration.
+    profile_hook: Callable[..., None] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
@@ -176,6 +186,11 @@ class EngineOptions:
             raise ProgramError(
                 f"token must be a CancellationToken or None, "
                 f"got {type(self.token).__name__}"
+            )
+        if self.profile_hook is not None and not callable(self.profile_hook):
+            raise ProgramError(
+                f"profile_hook must be callable or None, "
+                f"got {type(self.profile_hook).__name__}"
             )
 
     def iteration_bound(self) -> tuple[int | None, str]:

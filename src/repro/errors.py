@@ -147,4 +147,19 @@ class ReplicationError(ServeError, RuntimeError):
 class ClientError(ServeError, RuntimeError):
     """A :class:`~repro.serve.client.ServeClient` request failed for good:
     every eligible endpoint was tried, the retry budget is spent, or the
-    caller's deadline expired."""
+    caller's deadline expired.
+
+    ``request_id`` carries the ``X-Request-Id`` the client sent on every
+    attempt of the failed call, so the error can be correlated with the
+    server's traces and slow-query log.
+    """
+
+    def __init__(self, message: str, *, request_id: str | None = None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+class ObservabilityError(ReproError, ValueError):
+    """Misuse of the :mod:`repro.obs` metrics registry: an invalid metric
+    or label name, a duplicate registration under a conflicting type, or
+    an observation whose labels do not match the metric's declaration."""

@@ -1,0 +1,48 @@
+"""``repro.obs`` — dependency-free observability for the serving stack.
+
+Three pieces, layered so each is usable alone:
+
+- :mod:`repro.obs.metrics` — a thread-safe Prometheus-style registry
+  (counters, gauges, fixed-bucket histograms) rendering the text
+  exposition format for ``GET /metrics``.
+- :mod:`repro.obs.tracing` — per-request traces (``X-Request-Id`` plus
+  timestamped spans through admission → queue → batch → engine →
+  respond) and the structured slow-query log.
+- :mod:`repro.obs.serving` — :class:`~repro.obs.serving.ServeTelemetry`,
+  the serve stack's concrete metric catalog: hot-path instruments the
+  service pushes into, plus a scrape-time collector mirroring every
+  existing stats counter (scheduler, cache, quota, engine, replication).
+
+Stdlib only — no Prometheus client library, no third-party deps — so
+observability ships everywhere the engine does.  The metric catalog is
+documented in ``docs/OBSERVABILITY.md`` and kept complete by
+``tools/check_metrics_docs.py``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.serving import ServeTelemetry
+from repro.obs.tracing import (
+    SlowQueryLog,
+    Trace,
+    new_request_id,
+    sanitize_request_id,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ServeTelemetry",
+    "SlowQueryLog",
+    "Trace",
+    "new_request_id",
+    "sanitize_request_id",
+]

@@ -1,0 +1,166 @@
+"""Per-request tracing and the structured slow-query log.
+
+A :class:`Trace` follows one request through the serving pipeline as a
+list of timestamped spans — ``admitted``, ``cache_lookup``,
+``enqueued``, ``dispatched``, ``engine_start``, ``engine_end``,
+``responded`` — each with optional metadata (batch K, superstep count,
+cache outcome).  The trace rides on the scheduler ticket, so the
+dispatcher and the engine wrapper annotate the *same* object the HTTP
+layer created at admission; its id is echoed back in the
+``X-Request-Id`` response header and attached to error payloads, so a
+client-side failure correlates with server logs by id alone.
+
+Request ids come in via ``X-Request-Id`` (validated by
+:func:`sanitize_request_id` — forwarding arbitrary client bytes into
+logs and headers is an injection vector) or are generated
+(:func:`new_request_id`).
+
+The :class:`SlowQueryLog` turns traces into operator-facing evidence: a
+request whose wall time crosses the threshold is dumped as one
+structured JSON line on the ``repro.serve.slowquery`` logger, spans and
+all — the full admission→queue→batch→engine→respond timeline of the
+request that actually hurt, not an aggregate.
+
+Clocks are injectable everywhere (``clock=time.monotonic`` by default)
+so tests can drive timelines deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import threading
+import time
+import uuid
+from typing import Callable
+
+__all__ = [
+    "Trace",
+    "SlowQueryLog",
+    "new_request_id",
+    "sanitize_request_id",
+]
+
+#: Accepted ``X-Request-Id`` shape: the common uuid/ulid/trace-id
+#: alphabets, bounded length.  Anything else is discarded (a fresh id is
+#: generated) rather than rejected — observability must not fail a query.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def new_request_id() -> str:
+    """A fresh 32-hex-char request id."""
+    return uuid.uuid4().hex
+
+
+def sanitize_request_id(raw: str | None) -> str | None:
+    """``raw`` if it is a well-formed request id, else None.
+
+    None/empty/oversized/odd-charset inputs all map to None; the caller
+    substitutes :func:`new_request_id`.
+    """
+    if raw is None:
+        return None
+    raw = raw.strip()
+    if _REQUEST_ID_RE.match(raw):
+        return raw
+    return None
+
+
+class Trace:
+    """One request's timeline: an id plus timestamped spans.
+
+    Spans are append-only and thread-safe — the admission thread, the
+    dispatcher thread, and the engine wrapper all add to the same trace.
+    Timestamps are captured from the injectable ``clock`` and rendered
+    relative to the trace's start (``t_ms``), which keeps the JSON dump
+    meaningful without synchronised wall clocks.
+    """
+
+    __slots__ = ("request_id", "_clock", "_t0", "_spans", "_lock")
+
+    def __init__(
+        self,
+        request_id: str | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        #: The id echoed in ``X-Request-Id`` and error payloads.
+        self.request_id = request_id or new_request_id()
+        self._clock = clock
+        self._t0 = clock()
+        self._spans: list[tuple[str, float, dict]] = []
+        self._lock = threading.Lock()
+
+    def add(self, name: str, **meta) -> None:
+        """Append span ``name`` at the current clock, with metadata."""
+        now = self._clock()
+        with self._lock:
+            self._spans.append((name, now, meta))
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since the trace started, on the trace's clock."""
+        return (self._clock() - self._t0) * 1000.0
+
+    def span_names(self) -> list[str]:
+        """Span names in append order (test/assert convenience)."""
+        with self._lock:
+            return [name for name, _, _ in self._spans]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: id plus spans with relative-ms timestamps."""
+        with self._lock:
+            spans = [
+                {"span": name, "t_ms": round((ts - self._t0) * 1000.0, 3), **meta}
+                for name, ts, meta in self._spans
+            ]
+        return {"request_id": self.request_id, "spans": spans}
+
+
+class SlowQueryLog:
+    """Dump a structured JSON line for every over-threshold request.
+
+    ``maybe_log`` is called once per request at respond time with the
+    request's trace and measured wall time; requests at or under
+    ``threshold_ms`` are free (one comparison).  Offenders are written
+    as single-line JSON on the ``repro.serve.slowquery`` logger —
+    machine-parseable, greppable by request id.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float,
+        *,
+        logger: logging.Logger | None = None,
+    ) -> None:
+        if not threshold_ms > 0:
+            raise ValueError(
+                f"slow-query threshold must be > 0 ms, got {threshold_ms}"
+            )
+        #: Requests strictly slower than this (wall ms) are logged.
+        self.threshold_ms = float(threshold_ms)
+        self._logger = logger or logging.getLogger("repro.serve.slowquery")
+        self._lock = threading.Lock()
+        #: How many slow queries have been logged (feeds a counter).
+        self.logged = 0
+
+    def maybe_log(
+        self, trace: Trace, wall_ms: float, **context
+    ) -> bool:
+        """Log ``trace`` if ``wall_ms`` crosses the threshold.
+
+        ``context`` (graph, kind, status, ...) is merged into the JSON
+        record.  Returns True when a line was emitted.
+        """
+        if wall_ms <= self.threshold_ms:
+            return False
+        record = {
+            "slow_query_ms": round(wall_ms, 3),
+            "threshold_ms": self.threshold_ms,
+            **context,
+            **trace.to_dict(),
+        }
+        with self._lock:
+            self.logged += 1
+        self._logger.warning(json.dumps(record, sort_keys=False))
+        return True

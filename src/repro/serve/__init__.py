@@ -25,7 +25,11 @@ backend, many concurrent user queries.
   and per-endpoint circuit breakers,
 - :class:`QuotaManager` governs per-tenant admission (token-bucket
   rate, in-flight and queue-share caps; ``X-Tenant`` selects the
-  tenant, refusals map to 429 + Retry-After — see docs/SERVING.md).
+  tenant, refusals map to 429 + Retry-After — see docs/SERVING.md),
+- :mod:`repro.obs` threads observability through all of the above:
+  ``GET /metrics`` (Prometheus text format), per-request traces
+  carried on ``X-Request-Id``, and the structured slow-query log
+  (see docs/OBSERVABILITY.md and ``repro-serve --slow-query-ms``).
 
 See docs/SERVING.md for architecture, failure modes and operations.
 """

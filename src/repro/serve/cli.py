@@ -14,6 +14,7 @@ Then query it with any HTTP client::
     curl -s -X POST localhost:8642/query/bfs \\
         -d '{"graph": "social", "root": 0, "top": 10}'
     curl -s localhost:8642/stats
+    curl -s localhost:8642/metrics    # Prometheus text format
 
 Concurrent requests for the same (graph, program) coalesce into K-lane
 batched engine runs (one edge sweep serves the whole batch); repeated
@@ -41,6 +42,7 @@ import threading
 
 from repro.core.options import KNOWN_BACKENDS, EngineOptions
 from repro.errors import ReproError
+from repro.obs.serving import ServeTelemetry
 from repro.serve.cache import ResultCache
 from repro.serve.http import ServeHandler, make_server
 from repro.serve.registry import GraphRegistry
@@ -159,6 +161,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "in (0, 1] (default 0 = unlimited)",
     )
     parser.add_argument(
+        "--slow-query-ms", type=float, default=0.0,
+        help="log a structured JSON trace (repro.serve.slowquery logger) "
+             "for every request slower than this wall time "
+             "(default 0 = slow-query log disabled; /metrics is always on)",
+    )
+    parser.add_argument(
         "--verify", action="store_true",
         help="re-checksum snapshot arrays while loading",
     )
@@ -242,6 +250,14 @@ def build_service(args: argparse.Namespace) -> GraphService:
             if getattr(args, "default_deadline_ms", 0) > 0
             else None
         ),
+        # The CLI always serves /metrics; the slow-query log is opt-in.
+        telemetry=ServeTelemetry(
+            slow_query_ms=(
+                args.slow_query_ms
+                if getattr(args, "slow_query_ms", 0) > 0
+                else None
+            ),
+        ),
     )
 
 
@@ -267,6 +283,9 @@ def main(argv: list[str] | None = None) -> int:
             poll_timeout=args.poll_timeout,
         )
         server.follower = follower
+        # Epoch lag / frames applied / snapshot installs show up on
+        # /metrics alongside everything else.
+        service.telemetry.bind_follower(follower)
         try:
             follower.start()
         except ReproError as exc:
@@ -282,7 +301,8 @@ def main(argv: list[str] | None = None) -> int:
         f"window {service.policy.max_wait_ms} ms, "
         f"queue {service.policy.max_queue}, "
         f"cache {service.cache.capacity}, "
-        f"fsync {'on' if service.fsync else 'off'}, {role})",
+        f"fsync {'on' if service.fsync else 'off'}, {role}); "
+        f"metrics at /metrics",
         flush=True,
     )
 

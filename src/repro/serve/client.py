@@ -41,6 +41,12 @@ Mutations only ever target the leader (followers reject them), and are
 retried only on *connection* failures — a timed-out mutation may have
 committed, and blind re-send would double-apply; the caller decides.
 
+Every call carries one ``X-Request-Id`` — caller-supplied or generated
+once per *call*, not per attempt — so all of a call's retries correlate
+to a single id in the server's traces and slow-query log.  The id comes
+back on successful responses (``result["request_id"]``) and on raised
+:class:`~repro.errors.ClientError`\\ s (``exc.request_id``).
+
 Everything is standard library (``urllib``); a deadline bounds the
 whole call including every retry sleep, not one attempt.
 """
@@ -54,6 +60,7 @@ import urllib.error
 import urllib.request
 
 from repro.errors import ClientError
+from repro.obs.tracing import new_request_id, sanitize_request_id
 
 #: Default per-attempt socket timeout (seconds).
 DEFAULT_TIMEOUT = 10.0
@@ -141,12 +148,14 @@ class ServeClient:
         vertices: list[int] | None = None,
         deadline: float | None = None,
         tenant: str | None = None,
+        request_id: str | None = None,
     ) -> dict:
         """POST ``/query/{kind}``; reads fail over leader -> followers.
 
         ``deadline`` bounds the whole call (attempts + sleeps) *and* is
         forwarded to the server, which refuses, drops, or cancels the
-        query once it cannot be answered in time.
+        query once it cannot be answered in time.  ``request_id``
+        (generated when None) rides every attempt as ``X-Request-Id``.
         """
         body = {"graph": graph, **(params or {})}
         if top is not None:
@@ -162,6 +171,7 @@ class ServeClient:
             deadline=deadline,
             tenant=tenant if tenant is not None else self.tenant,
             forward_deadline=True,
+            request_id=request_id,
         )
 
     def mutate(
@@ -171,6 +181,7 @@ class ServeClient:
         delete: list | None = None,
         *,
         deadline: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
         """POST ``/graphs/{graph}/edges`` — leader only, no blind re-send.
 
@@ -193,6 +204,7 @@ class ServeClient:
             retry_transport=False,
             deadline=deadline,
             tenant=self.tenant,
+            request_id=request_id,
         )
 
     def stats(self, *, deadline: float | None = None) -> dict:
@@ -233,7 +245,12 @@ class ServeClient:
         deadline: float | None = None,
         tenant: str | None = None,
         forward_deadline: bool = False,
+        request_id: str | None = None,
     ) -> dict:
+        # One id for the whole call: every retry attempt (and every
+        # failover endpoint) sends the same X-Request-Id, so the server
+        # traces of all attempts correlate.
+        rid = sanitize_request_id(request_id) or new_request_id()
         give_up_at = (
             time.monotonic() + float(deadline) if deadline is not None else None
         )
@@ -246,11 +263,12 @@ class ServeClient:
                 raise ClientError(
                     f"{method} {path}: every endpoint's circuit breaker is "
                     f"open ({len(endpoints)} endpoint(s) failing); "
-                    f"last error: {last_error}"
+                    f"last error: {last_error}",
+                    request_id=rid,
                 )
             breaker = self._breakers[url]
             timeout = self.timeout
-            headers = {}
+            headers = {"X-Request-Id": rid}
             if tenant is not None:
                 headers["X-Tenant"] = str(tenant)
             if give_up_at is not None:
@@ -258,7 +276,8 @@ class ServeClient:
                 if remaining <= 0:
                     raise ClientError(
                         f"{method} {path}: deadline of {deadline:g}s expired "
-                        f"after {attempt} attempt(s); last error: {last_error}"
+                        f"after {attempt} attempt(s); last error: {last_error}",
+                        request_id=rid,
                     ) from last_error
                 timeout = min(timeout, remaining)
                 if forward_deadline:
@@ -269,12 +288,12 @@ class ServeClient:
             try:
                 result = self._request(
                     url, method, path, body,
-                    timeout=timeout, headers=headers or None,
+                    timeout=timeout, headers=headers,
                 )
             except _Retryable as exc:
                 breaker.record_failure(time.monotonic())
                 if not retry_503:
-                    raise ClientError(str(exc)) from exc
+                    raise ClientError(str(exc), request_id=rid) from exc
                 last_error = exc
                 pause = (
                     exc.retry_after
@@ -286,17 +305,22 @@ class ServeClient:
                 if not retry_transport:
                     raise ClientError(
                         f"{method} {url}{path} failed in transit ({exc}); "
-                        f"not re-sent — the request may have been applied"
+                        f"not re-sent — the request may have been applied",
+                        request_id=rid,
                     ) from exc
                 last_error = exc
                 pause = self._backoff(attempt)
-            except ClientError:
+            except ClientError as exc:
                 # The endpoint answered (a 4xx/429: our request's fault,
                 # not the server's health) — that's breaker-success.
                 breaker.record_success()
+                if exc.request_id is None:
+                    exc.request_id = rid
                 raise
             else:
                 breaker.record_success()
+                if isinstance(result, dict):
+                    result.setdefault("request_id", rid)
                 return result
             attempt += 1
             if attempt > self.retries:
@@ -310,13 +334,15 @@ class ServeClient:
                     raise ClientError(
                         f"{method} {path}: next retry would sleep "
                         f"{pause:.2f}s past the {deadline:g}s deadline; "
-                        f"failing fast ({last_error})"
+                        f"failing fast ({last_error})",
+                        request_id=rid,
                     ) from last_error
             if pause > 0:
                 time.sleep(pause)
         raise ClientError(
             f"{method} {path} failed after {attempt} attempt(s) across "
-            f"{len(endpoints)} endpoint(s): {last_error}"
+            f"{len(endpoints)} endpoint(s): {last_error}",
+            request_id=rid,
         )
 
     def _pick_endpoint(

@@ -12,6 +12,7 @@ Endpoints::
     GET  /healthz/ready      -> 200 routable / 503 draining|bootstrapping
     GET  /graphs             -> hosted graphs (name, sizes, source)
     GET  /stats              -> service/scheduler/cache counters
+    GET  /metrics            -> Prometheus text exposition (repro.obs)
     POST /query/bfs          {"graph": "g", "root": 0, "top": 10}
     POST /query/sssp         {"graph": "g", "source": 0, "vertices": [1, 2]}
     POST /query/ppr          {"graph": "g", "source": 0, "r": 0.15,
@@ -38,6 +39,14 @@ one of the payload bounds: ``"vertices"`` (explicit ids -> their values)
 or ``"top"`` (N best vertices; best = nearest for distances, highest for
 scores).  With neither, the full result vector is returned (``null`` for
 infinite entries, which JSON cannot spell).
+
+Observability (docs/OBSERVABILITY.md): every query/mutation accepts an
+``X-Request-Id`` header (or generates an id), echoes it on the response
+— success *and* error — and threads it through the service's per-request
+trace and slow-query log, so one id follows a request from client retry
+loop to engine superstep.  ``GET /metrics`` renders the service's
+:class:`~repro.obs.serving.ServeTelemetry` catalog in Prometheus text
+format (404 when the service was built without telemetry).
 
 Governance (docs/SERVING.md): queries may carry a deadline
 (``deadline_ms`` in the body, or the ``X-Deadline-Ms`` header) and a
@@ -78,6 +87,7 @@ from repro.errors import (
     StaleReadError,
     UnknownGraphError,
 )
+from repro.obs.tracing import new_request_id, sanitize_request_id
 from repro.serve.service import GraphService
 
 _MUTATE_PATH = re.compile(r"^/graphs/([^/]+)/edges$")
@@ -116,12 +126,17 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _reply_bytes(
-        self, status: int, data: bytes, headers: dict | None = None
+        self,
+        status: int,
+        data: bytes,
+        headers: dict | None = None,
+        *,
+        content_type: str = "application/octet-stream",
     ) -> None:
-        """A raw octet-stream response (replication frames, snapshots)."""
+        """A raw non-JSON response (replication frames, snapshots, metrics)."""
         self.send_response(status)
         if status != 204:
-            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -129,8 +144,21 @@ class ServeHandler(BaseHTTPRequestHandler):
         if data:
             self.wfile.write(data)
 
-    def _error(self, status: int, message: str, headers: dict | None = None):
-        self._reply(status, {"error": message}, headers)
+    def _error(
+        self,
+        status: int,
+        message: str,
+        headers: dict | None = None,
+        *,
+        request_id: str | None = None,
+    ):
+        document = {"error": message}
+        if request_id is not None:
+            # The id goes in the payload *and* the header so both
+            # body-parsing clients and proxy logs can correlate.
+            document["request_id"] = request_id
+            headers = {**(headers or {}), "X-Request-Id": request_id}
+        self._reply(status, document, headers)
 
     # -- GET -------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — http.server API
@@ -173,6 +201,19 @@ class ServeHandler(BaseHTTPRequestHandler):
             if follower is not None:
                 stats["replication"] = follower.status()
             self._reply(200, stats)
+        elif path == "/metrics":
+            if service.telemetry is None:
+                self._error(
+                    404,
+                    "metrics are not enabled; construct the service "
+                    "with a ServeTelemetry (the CLI always does)",
+                )
+            else:
+                self._reply_bytes(
+                    200,
+                    service.telemetry.registry.render().encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
         elif replication is not None:
             self._handle_replication(
                 replication.group(1),
@@ -271,17 +312,26 @@ class ServeHandler(BaseHTTPRequestHandler):
         # keep-alive connection would be parsed as the next request
         # line.  When the body is unreadable (oversized, absent), close
         # the connection instead of trying to resynchronize it.
+        # The request id is accepted (X-Request-Id) or generated before
+        # anything can fail, so every reply — including 400s — carries
+        # one.  Malformed client ids are replaced, not rejected.
+        rid = (
+            sanitize_request_id(self.headers.get("X-Request-Id"))
+            or new_request_id()
+        )
         try:
             body = self._read_json()
         except BadQueryError as exc:
-            self._error(400, str(exc), {"Connection": "close"})
+            self._error(
+                400, str(exc), {"Connection": "close"}, request_id=rid
+            )
             return
         mutate = _MUTATE_PATH.match(self.path)
         if mutate is not None:
-            self._handle_mutation(mutate.group(1), body)
+            self._handle_mutation(mutate.group(1), body, rid)
             return
         if not self.path.startswith("/query/"):
-            self._error(404, f"unknown path {self.path!r}")
+            self._error(404, f"unknown path {self.path!r}", request_id=rid)
             return
         kind = self.path[len("/query/"):]
         try:
@@ -296,10 +346,13 @@ class ServeHandler(BaseHTTPRequestHandler):
             if follower is not None:
                 follower.check_read(graph_name)
             result = self.server.service.query(
-                graph_name, kind, body, deadline=deadline, tenant=tenant
+                graph_name, kind, body, deadline=deadline, tenant=tenant,
+                request_id=rid,
             )
         except UnknownGraphError as exc:
-            self._error(404, f"unknown graph {exc.args[0]!r}")
+            self._error(
+                404, f"unknown graph {exc.args[0]!r}", request_id=rid
+            )
         except QuotaExceededError as exc:
             # Per-tenant refusal: 429, not 503 — the *service* has
             # capacity, this tenant used its share.  Retry-After comes
@@ -307,43 +360,55 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._error(
                 429, str(exc),
                 {"Retry-After": f"{max(0.05, exc.retry_after):.3f}"},
+                request_id=rid,
             )
         except DeadlineExceededError as exc:
             # The request's own deadline fired (at admission, in the
             # queue, or via engine cancellation): 504, retriable — but
             # only worth retrying if the caller's budget has room.
             self._error(
-                504, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)}
+                504, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)},
+                request_id=rid,
             )
         except (
             ServiceOverloadedError, ServiceDrainingError, StaleReadError
         ) as exc:
             self._error(
-                503, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)}
+                503, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)},
+                request_id=rid,
             )
         except BadQueryError as exc:
             if "unknown query kind" in str(exc):
-                self._error(404, str(exc))
+                self._error(404, str(exc), request_id=rid)
             else:
-                self._error(400, str(exc))
+                self._error(400, str(exc), request_id=rid)
         except ReproError as exc:
-            self._error(500, f"{type(exc).__name__}: {exc}")
+            self._error(
+                500, f"{type(exc).__name__}: {exc}", request_id=rid
+            )
         except Exception as exc:  # noqa: BLE001 — the client must get a
             # reply either way; without this, http.server drops the
             # connection mid-exchange on any non-ReproError failure.
-            self._error(500, f"internal error: {type(exc).__name__}")
+            self._error(
+                500, f"internal error: {type(exc).__name__}", request_id=rid
+            )
         else:
             try:
                 document = result.to_dict(
                     top=top, vertices=vertices, order=adapter.order
                 )
             except IndexError:
-                self._error(400, "'vertices' contains out-of-range ids")
+                self._error(
+                    400, "'vertices' contains out-of-range ids",
+                    request_id=rid,
+                )
                 return
-            self._reply(200, document)
+            self._reply(200, document, {"X-Request-Id": result.request_id})
 
     # -- mutations -------------------------------------------------------
-    def _handle_mutation(self, graph_name: str, body: dict) -> None:
+    def _handle_mutation(
+        self, graph_name: str, body: dict, rid: str
+    ) -> None:
         """``POST /graphs/{name}/edges``: apply one delta batch."""
         try:
             inserts = _parse_edge_rows(body.pop("insert", None), weights=True)
@@ -361,23 +426,30 @@ class ServeHandler(BaseHTTPRequestHandler):
                 graph_name, inserts=inserts, deletes=deletes
             )
         except UnknownGraphError as exc:
-            self._error(404, f"unknown graph {exc.args[0]!r}")
+            self._error(
+                404, f"unknown graph {exc.args[0]!r}", request_id=rid
+            )
         except ReadOnlyServiceError as exc:
-            self._error(403, str(exc))
+            self._error(403, str(exc), request_id=rid)
         except ServiceDrainingError as exc:
             self._error(
-                503, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)}
+                503, str(exc), {"Retry-After": str(RETRY_AFTER_SECONDS)},
+                request_id=rid,
             )
         except (BadQueryError, GraphError) as exc:
             # GraphError: out-of-range vertex ids, bad weight dtype —
             # the client's fault, not the service's.
-            self._error(400, str(exc))
+            self._error(400, str(exc), request_id=rid)
         except ReproError as exc:
-            self._error(500, f"{type(exc).__name__}: {exc}")
+            self._error(
+                500, f"{type(exc).__name__}: {exc}", request_id=rid
+            )
         except Exception as exc:  # noqa: BLE001 — see do_POST
-            self._error(500, f"internal error: {type(exc).__name__}")
+            self._error(
+                500, f"internal error: {type(exc).__name__}", request_id=rid
+            )
         else:
-            self._reply(200, summary)
+            self._reply(200, summary, {"X-Request-Id": rid})
 
     def _read_json(self) -> dict:
         try:

@@ -13,9 +13,14 @@ watches the per-``(graph, program)`` queues and launches a batch when
   lone request; K=1 is a supported degenerate batch, bitwise identical
   to a sequential run).
 
-Overdue queues take priority over full ones (longest-waiting head
-first), so a saturated hot group cannot starve a lone request in a cold
-group past its dispatch window.
+Overdue queues take priority over full ones, so a saturated hot group
+cannot starve a lone request in a cold group past its dispatch window.
+Among overdue groups, dispatch order is **SLO-aware**: groups whose
+next batch carries a deadline dispatch earliest-deadline-first (the
+ticket closest to missing its SLO goes to the engine first), and only
+deadline-free overdue groups fall back to longest-waiting-head order —
+behind any deadline-carrying group, since "no deadline" means no one
+is about to miss one.
 
 Requests only share a batch when their :attr:`Ticket.group` keys are
 equal — the service builds the group from (graph name, query kind,
@@ -103,6 +108,10 @@ class Ticket:
     deadline_at: float | None = None
     #: Tenant identity, for per-tenant accounting (None = default).
     tenant: str | None = None
+    #: The request's :class:`~repro.obs.tracing.Trace`, when the service
+    #: built one — the dispatcher and executor annotate spans on it.
+    #: Opaque to the batcher (never read here), like ``payload``.
+    trace: object | None = None
 
 
 @dataclass
@@ -118,6 +127,9 @@ class SchedulerStats:
     full_dispatches: int = 0
     timeout_dispatches: int = 0
     lanes_dispatched: int = 0
+    #: Overdue dispatches whose winning group was chosen by earliest
+    #: ticket deadline (the SLO-aware path, vs. longest-wait fallback).
+    slo_dispatches: int = 0
     max_batch_k_seen: int = 0
     total_queue_wait_seconds: float = 0.0
 
@@ -130,6 +142,7 @@ class SchedulerStats:
             "full_dispatches": self.full_dispatches,
             "timeout_dispatches": self.timeout_dispatches,
             "lanes_dispatched": self.lanes_dispatched,
+            "slo_dispatches": self.slo_dispatches,
             "mean_batch_k": (
                 self.lanes_dispatched / self.dispatches
                 if self.dispatches
@@ -227,24 +240,40 @@ class MicroBatcher:
     def _take_batch_locked(self) -> tuple[Hashable, list[Ticket], bool] | None:
         """Pop the next dispatchable batch, or None when nothing is due.
 
-        Overdue groups win, longest-waiting head first — a sustained
-        stream of full batches in one hot group must not starve a
-        timed-out request in another past its ``max_wait_ms`` contract
-        (the lone request keeps aging, so it eventually outwaits every
-        freshly refilled queue).  With nothing overdue, any full queue
+        Overdue groups win over merely-full ones — a sustained stream of
+        full batches in one hot group must not starve a timed-out
+        request in another past its ``max_wait_ms`` contract.  Among
+        overdue groups the order is SLO-aware: a group whose next batch
+        carries a deadline is ranked by its *earliest* ticket deadline
+        (tightest SLO dispatches first), and every deadline-carrying
+        group outranks every deadline-free one, which keep the
+        pre-deadline ordering (longest-waiting head first — the aging
+        guarantee that a lone request eventually outwaits every freshly
+        refilled queue).  With nothing overdue, any full queue
         dispatches immediately (the fast path).
         """
         k = self.policy.max_batch_k
         deadline_s = self.policy.max_wait_ms / 1e3
         now = self._clock()
-        oldest_group, oldest_wait = None, -1.0
+        # Rank key over overdue groups, smaller wins:
+        #   (0, earliest deadline among the next batch's tickets)
+        #   (1, -wait)  for groups whose next batch has no deadlines
+        best_group, best_key = None, None
         for group, queue in self._queues.items():
             wait = now - queue[0].enqueued_at
-            if wait >= deadline_s and wait > oldest_wait:
-                oldest_group, oldest_wait = group, wait
-        if oldest_group is not None:
-            full = len(self._queues[oldest_group]) >= k
-            return oldest_group, self._pop_locked(oldest_group, k), full
+            if wait < deadline_s:
+                continue
+            deadlines = [
+                t.deadline_at for t in queue[:k] if t.deadline_at is not None
+            ]
+            key = (0, min(deadlines)) if deadlines else (1, -wait)
+            if best_key is None or key < best_key:
+                best_group, best_key = group, key
+        if best_group is not None:
+            if best_key[0] == 0:
+                self._stats.slo_dispatches += 1
+            full = len(self._queues[best_group]) >= k
+            return best_group, self._pop_locked(best_group, k), full
         for group, queue in self._queues.items():
             if len(queue) >= k:
                 return group, self._pop_locked(group, k), True

@@ -48,11 +48,15 @@ from repro.dynamic import DeltaGraph
 from repro.errors import (
     BadQueryError,
     DeadlineExceededError,
+    QuotaExceededError,
     ReadOnlyServiceError,
     ServeError,
     ServiceDrainingError,
+    ServiceOverloadedError,
 )
 from repro.graph.graph import Graph
+from repro.obs.serving import ServeTelemetry
+from repro.obs.tracing import Trace
 from repro.serve.cache import ResultCache
 from repro.serve.quota import QuotaManager
 from repro.serve.registry import GraphRegistry
@@ -83,6 +87,12 @@ class QueryResult:
     latency_ms: float
     #: Supersteps/edges of the serving run (empty dict for cache hits).
     engine: dict = field(default_factory=dict)
+    #: The request id (from ``X-Request-Id`` or generated) — the handle
+    #: that correlates this response with server traces and logs.
+    request_id: str = ""
+    #: The request's :class:`~repro.obs.tracing.Trace` (admission →
+    #: respond spans); not serialized — ``to_dict`` carries only the id.
+    trace: object | None = None
 
     def to_dict(
         self, *, top: int | None = None, vertices: list[int] | None = None,
@@ -102,6 +112,7 @@ class QueryResult:
             "batch_k": self.batch_k,
             "latency_ms": self.latency_ms,
             "engine": self.engine,
+            "request_id": self.request_id,
             "n_vertices": int(self.values.shape[0]),
         }
         if vertices is not None:
@@ -166,6 +177,7 @@ class GraphService:
         read_only: bool = False,
         quota: QuotaManager | None = None,
         default_deadline: float | None = None,
+        telemetry: ServeTelemetry | None = None,
     ) -> None:
         if not 0.0 < compact_threshold:
             raise ServeError(
@@ -203,6 +215,13 @@ class GraphService:
         self.default_deadline = (
             float(default_deadline) if default_deadline is not None else None
         )
+        #: Metrics + slow-query log (:class:`~repro.obs.serving.
+        #: ServeTelemetry`); None = uninstrumented (traces and request
+        #: ids still work — only metric observation is skipped).  The
+        #: CLI always wires one; embedded users opt in.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind_service(self)
         #: Deadlines live on the same monotonic timeline as the
         #: batcher's dispatch clock and the engine tokens' default.
         self._clock = time.monotonic
@@ -221,12 +240,19 @@ class GraphService:
         #: snapshot (catch-up-then-swap) before tailing again.
         self._generation: dict[str, int] = {}
         self._torn_bytes_dropped = 0
+        #: Wall-clock birth time (for ``started_at`` — a timestamp) and
+        #: the monotonic birth mark (for ``uptime_seconds`` — a
+        #: duration; wall clocks jump under NTP, monotonic ones don't).
         self._started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._queries = 0
         self._kind_counts: dict[str, int] = {}
         self._engine_seconds = 0.0
         self._engine_supersteps = 0
         self._engine_edges = 0
+        #: Kernel tier -> blocks executed, aggregated over serving runs
+        #: (the per-run ``kernel_totals()`` summed service-lifetime).
+        self._kernel_totals: dict[str, int] = {}
         self._errors = 0
         self._cancelled_lanes = 0
         self._deadline_refused = 0
@@ -264,6 +290,7 @@ class GraphService:
         timeout: float | None = None,
         deadline: float | None = None,
         tenant: str | None = None,
+        request_id: str | None = None,
     ) -> QueryResult:
         """Answer one query, batching it with concurrent same-kind queries.
 
@@ -278,48 +305,58 @@ class GraphService:
         :class:`~repro.serve.quota.QuotaManager`
         (:class:`~repro.errors.QuotaExceededError` on refusal).
 
+        ``request_id`` (the caller's ``X-Request-Id``, or None to
+        generate one) names the request's :class:`~repro.obs.tracing.
+        Trace`; the id comes back on ``QueryResult.request_id`` and the
+        trace — spans through admission → queue → batch → engine →
+        respond — on ``QueryResult.trace``.
+
         Also raises :class:`~repro.errors.UnknownGraphError`,
         :class:`~repro.errors.BadQueryError`,
         :class:`~repro.errors.ServiceOverloadedError` (queue full), or
         whatever the engine raised for the serving batch.
         """
         t0 = time.perf_counter()
-        if self._draining.is_set():
-            raise ServiceDrainingError(
-                "service is draining for shutdown; retry another replica"
-            )
-        if deadline is None:
-            deadline = self.default_deadline
-        deadline_at = None
-        if deadline is not None:
-            try:
-                deadline = float(deadline)
-            except (TypeError, ValueError):
-                raise BadQueryError(
-                    f"deadline must be a number of seconds, got {deadline!r}"
-                ) from None
-            if not deadline > 0:
-                raise BadQueryError(
-                    f"deadline must be > 0 seconds, got {deadline}"
-                )
-            deadline_at = self._clock() + deadline
-        adapter = get_adapter(kind)
-        # One registry read pins this query to a consistent (graph
-        # object, epoch) pair: a concurrent mutation swaps the entry but
-        # never mutates a graph object in place.
-        entry = self.registry.entry(graph_name)
-        canonical = adapter.canonicalize(entry.graph, dict(params or {}))
-        # Quota admission after validation (malformed requests burn no
-        # quota), before any work.  Every admit pairs with the release
-        # in the finally below.
+        trace = Trace(request_id, clock=self._clock)
+        status = "error"
         admitted_tenant = None
-        if self.quota is not None:
-            admitted_tenant = self.quota.admit(
-                tenant,
-                queue_depth=self._batcher.pending,
-                max_queue=self.policy.max_queue,
-            )
         try:
+            if self._draining.is_set():
+                raise ServiceDrainingError(
+                    "service is draining for shutdown; retry another replica"
+                )
+            if deadline is None:
+                deadline = self.default_deadline
+            deadline_at = None
+            if deadline is not None:
+                try:
+                    deadline = float(deadline)
+                except (TypeError, ValueError):
+                    raise BadQueryError(
+                        f"deadline must be a number of seconds, "
+                        f"got {deadline!r}"
+                    ) from None
+                if not deadline > 0:
+                    raise BadQueryError(
+                        f"deadline must be > 0 seconds, got {deadline}"
+                    )
+                deadline_at = self._clock() + deadline
+            adapter = get_adapter(kind)
+            # One registry read pins this query to a consistent (graph
+            # object, epoch) pair: a concurrent mutation swaps the entry
+            # but never mutates a graph object in place.
+            entry = self.registry.entry(graph_name)
+            canonical = adapter.canonicalize(entry.graph, dict(params or {}))
+            # Quota admission after validation (malformed requests burn
+            # no quota), before any work.  Every admit pairs with the
+            # release in the finally below.
+            if self.quota is not None:
+                admitted_tenant = self.quota.admit(
+                    tenant,
+                    queue_depth=self._batcher.pending,
+                    max_queue=self.policy.max_queue,
+                )
+            trace.add("admitted", tenant=admitted_tenant)
             with self._lock:
                 self._queries += 1
                 self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
@@ -334,7 +371,9 @@ class GraphService:
                 tuple(sorted(canonical.items())),
             )
             cached = self.cache.get(cache_key)
+            trace.add("cache_lookup", hit=cached is not None)
             if cached is not None:
+                status = "cached"
                 return QueryResult(
                     graph=graph_name,
                     kind=kind,
@@ -343,6 +382,8 @@ class GraphService:
                     cached=True,
                     batch_k=0,
                     latency_ms=1e3 * (time.perf_counter() - t0),
+                    request_id=trace.request_id,
+                    trace=trace,
                 )
             self._check_deadline_feasible(deadline_at)
             group = (
@@ -359,14 +400,19 @@ class GraphService:
                 ),
                 deadline_at=deadline_at,
                 tenant=admitted_tenant,
+                trace=trace,
             )
             try:
+                # The span lands before submit: the dispatcher may add
+                # "dispatched" the instant the ticket is visible.
+                trace.add("enqueued", pending=self._batcher.pending)
                 future = self._batcher.submit(ticket)
                 values, batch_k, engine = future.result(timeout=timeout)
             except Exception:
                 with self._lock:
                     self._errors += 1
                 raise
+            status = "ok"
             return QueryResult(
                 graph=graph_name,
                 kind=kind,
@@ -376,10 +422,30 @@ class GraphService:
                 batch_k=batch_k,
                 latency_ms=1e3 * (time.perf_counter() - t0),
                 engine=engine,
+                request_id=trace.request_id,
+                trace=trace,
             )
+        except DeadlineExceededError:
+            status = "deadline"
+            raise
+        except QuotaExceededError:
+            status = "quota"
+            raise
+        except (ServiceDrainingError, ServiceOverloadedError):
+            status = "shed"
+            raise
         finally:
             if admitted_tenant is not None:
                 self.quota.release(admitted_tenant)
+            trace.add("responded", status=status)
+            if self.telemetry is not None:
+                self.telemetry.observe_request(
+                    graph_name,
+                    kind,
+                    status,
+                    time.perf_counter() - t0,
+                    trace,
+                )
 
     def _check_deadline_feasible(self, deadline_at: float | None) -> None:
         """Refuse now what we cannot answer in time.
@@ -694,6 +760,37 @@ class GraphService:
         programs = adapter.make_programs(canonicals)
         lane_properties, lane_active = adapter.init_lanes(graph, canonicals)
         options = adapter.engine_options(canonicals[0], self.options)
+        dispatch_at = self._clock()
+        enqueued_ats = [t.enqueued_at for t in tickets]
+        for ticket in tickets:
+            if ticket.trace is not None:
+                ticket.trace.add(
+                    "dispatched",
+                    batch_size=len(tickets),
+                    lanes=len(canonicals),
+                )
+        superstep_profile: list[dict] = []
+        if self.telemetry is not None:
+            # Engine-time attribution for traces and the slow-query log:
+            # one dict per superstep, bounded so a pathological run
+            # cannot balloon a log line.
+            def profile_hook(stats) -> None:
+                if len(superstep_profile) < 32:
+                    superstep_profile.append(
+                        {
+                            "iteration": stats.iteration,
+                            "seconds": round(stats.seconds, 6),
+                            "frontier_density": round(
+                                stats.frontier_density, 6
+                            ),
+                            "edges_processed": stats.edges_processed,
+                        }
+                    )
+
+            options = options.with_(profile_hook=profile_hook)
+        for ticket in tickets:
+            if ticket.trace is not None:
+                ticket.trace.add("engine_start")
         # Per-lane deadline tokens: duplicates share a lane, so the
         # lane runs to the *latest* duplicate's deadline (a patient
         # requester must not be cancelled by an impatient twin), and a
@@ -717,11 +814,29 @@ class GraphService:
             ),
         )
         engine = _engine_summary(run)
+        for ticket in tickets:
+            if ticket.trace is not None:
+                ticket.trace.add(
+                    "engine_end",
+                    supersteps=run.n_supersteps,
+                    engine_seconds=round(run.total_seconds, 6),
+                    profile=superstep_profile,
+                )
+        if self.telemetry is not None:
+            self.telemetry.observe_batch(
+                len(canonicals),
+                run.total_seconds,
+                [dispatch_at - enq for enq in enqueued_ats],
+            )
         with self._lock:
             self._engine_seconds += run.total_seconds
             self._engine_supersteps += run.n_supersteps
             self._engine_edges += run.total_edges_processed
             self._cancelled_lanes += run.lanes_cancelled
+            for kernel, blocks in engine["kernels"].items():
+                self._kernel_totals[kernel] = (
+                    self._kernel_totals.get(kernel, 0) + blocks
+                )
             # Feasibility estimate for deadline admission: smooth, so
             # one outlier batch neither opens nor slams the door.
             if self._batch_seconds_ewma == 0.0:
@@ -758,7 +873,8 @@ class GraphService:
         """JSON-ready service counters for the ``/stats`` endpoint."""
         with self._lock:
             service = {
-                "uptime_seconds": time.time() - self._started_at,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "started_at": self._started_at,
                 "draining": self._draining.is_set(),
                 "read_only": self.read_only,
                 "fsync": self.fsync,
@@ -769,6 +885,7 @@ class GraphService:
                     "seconds": self._engine_seconds,
                     "supersteps": self._engine_supersteps,
                     "edges_processed": self._engine_edges,
+                    "kernel_blocks": dict(self._kernel_totals),
                 },
                 "mutations": {
                     "recovered_batches": self._recovered_batches,

@@ -77,7 +77,9 @@ class TestRetries:
         )
         client = ServeClient(url, timeout=5.0, retries=3, rng=rng)
         t0 = time.monotonic()
-        assert client.query("g", "bfs", {"root": 0}) == {"cached": False}
+        result = client.query("g", "bfs", {"root": 0})
+        result.pop("request_id")  # client-added correlation id
+        assert result == {"cached": False}
         elapsed = time.monotonic() - t0
         assert len(server.requests) == 3
         assert elapsed >= 0.1  # two Retry-After pauses were respected
@@ -120,7 +122,9 @@ class TestFailover:
         client = ServeClient(
             "http://127.0.0.1:9", [furl], timeout=2.0, retries=2, rng=rng
         )
-        assert client.query("g", "bfs", {"root": 0}) == {"from": "follower"}
+        result = client.query("g", "bfs", {"root": 0})
+        result.pop("request_id")
+        assert result == {"from": "follower"}
         assert len(follower.requests) == 1
         follower.shutdown()
 
@@ -130,7 +134,9 @@ class TestFailover:
         )
         follower, furl = _stub([(200, {}, b'{"from": "follower"}')])
         client = ServeClient(lurl, [furl], retries=2, rng=rng)
-        assert client.query("g", "bfs", {"root": 0}) == {"from": "follower"}
+        result = client.query("g", "bfs", {"root": 0})
+        result.pop("request_id")
+        assert result == {"from": "follower"}
         leader.shutdown()
         follower.shutdown()
 
@@ -196,9 +202,9 @@ class TestDeadlineFailFast:
             ]
         )
         client = ServeClient(url, retries=2, rng=rng)
-        assert client.query("g", "bfs", {"root": 0}, deadline=10.0) == {
-            "ok": True
-        }
+        result = client.query("g", "bfs", {"root": 0}, deadline=10.0)
+        result.pop("request_id")
+        assert result == {"ok": True}
         assert len(server.requests) == 2
         server.shutdown()
 
@@ -327,4 +333,96 @@ class TestGovernanceHeaders:
         assert first["X-Tenant"] == "umbrella"
         assert second["X-Tenant"] == "acme"
         assert "X-Deadline-Ms" not in first  # no deadline, no header
+        server.shutdown()
+
+
+class TestRequestIdPropagation:
+    def _stub(self, script):
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _HeaderRecordingHandler)
+        server.script = list(script)
+        server.requests = []
+        server.seen_headers = []
+        server.lock = threading.Lock()
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        return server, "http://%s:%s" % server.server_address[:2]
+
+    def test_same_id_rides_every_retry_attempt(self, rng):
+        server, url = self._stub(
+            [
+                (503, {"Retry-After": "0"}, b'{"error": "draining"}'),
+                (503, {"Retry-After": "0"}, b'{"error": "draining"}'),
+                (200, {}, b'{"cached": false}'),
+            ]
+        )
+        client = ServeClient(url, retries=3, rng=rng)
+        result = client.query("g", "bfs", {"root": 0})
+        ids = [h["X-Request-Id"] for h in server.seen_headers]
+        assert len(ids) == 3
+        assert len(set(ids)) == 1, (
+            f"retry attempts must reuse one request id, saw {ids}"
+        )
+        # The id is surfaced on the result for client-side correlation.
+        assert result["request_id"] == ids[0]
+        server.shutdown()
+
+    def test_explicit_id_is_forwarded_verbatim(self, rng):
+        server, url = self._stub([(200, {}, b'{"ok": true}')])
+        client = ServeClient(url, rng=rng)
+        result = client.query(
+            "g", "bfs", {"root": 0}, request_id="caller-chose-this"
+        )
+        (headers,) = server.seen_headers
+        assert headers["X-Request-Id"] == "caller-chose-this"
+        assert result["request_id"] == "caller-chose-this"
+        server.shutdown()
+
+    def test_malformed_explicit_id_is_replaced(self, rng):
+        server, url = self._stub([(200, {}, b'{"ok": true}')])
+        client = ServeClient(url, rng=rng)
+        client.query("g", "bfs", {"root": 0}, request_id="bad id !!")
+        (headers,) = server.seen_headers
+        assert headers["X-Request-Id"] != "bad id !!"
+        assert len(headers["X-Request-Id"]) == 32
+        server.shutdown()
+
+    def test_server_supplied_request_id_wins_on_response(self, rng):
+        # When the server echoes (or rewrites) the id in the body, the
+        # client must not clobber it — setdefault semantics.
+        server, url = self._stub(
+            [(200, {}, b'{"ok": true, "request_id": "server-id"}')]
+        )
+        client = ServeClient(url, rng=rng)
+        result = client.query("g", "bfs", {"root": 0})
+        assert result["request_id"] == "server-id"
+        server.shutdown()
+
+    def test_raised_client_error_carries_the_id(self, rng):
+        server, url = self._stub([(400, {}, b'{"error": "bad root"}')])
+        client = ServeClient(url, rng=rng)
+        with pytest.raises(ClientError) as excinfo:
+            client.query("g", "bfs", {"root": -1}, request_id="fail-id-1")
+        assert excinfo.value.request_id == "fail-id-1"
+        server.shutdown()
+
+    def test_exhausted_retries_error_carries_the_id(self, rng):
+        server, url = self._stub(
+            [(503, {"Retry-After": "0"}, b'{"error": "full"}')] * 3
+        )
+        client = ServeClient(url, retries=1, rng=rng)
+        with pytest.raises(ClientError) as excinfo:
+            client.query("g", "bfs", {"root": 0})
+        assert excinfo.value.request_id is not None
+        ids = {h["X-Request-Id"] for h in server.seen_headers}
+        assert ids == {excinfo.value.request_id}
+        server.shutdown()
+
+    def test_mutation_carries_the_id_too(self, rng):
+        server, url = self._stub([(200, {}, b'{"applied": 1}')])
+        client = ServeClient(url, rng=rng)
+        result = client.mutate(
+            "g", insert=[[0, 1]], request_id="mut-id-9"
+        )
+        (headers,) = server.seen_headers
+        assert headers["X-Request-Id"] == "mut-id-9"
+        assert result["request_id"] == "mut-id-9"
         server.shutdown()

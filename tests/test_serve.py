@@ -657,6 +657,101 @@ class TestSchedulerDeadlines:
         )
 
 
+class TestSLODispatchOrdering:
+    """Among several overdue groups the tightest deadline dispatches
+    first; deadline-free groups keep the longest-waiting-first aging
+    order.  White-box through ``_take_batch_locked`` with a fake clock:
+    tickets are queued without notifying the (asleep) dispatcher, so the
+    dispatch decisions under test are taken synchronously and can't race
+    the real dispatcher thread."""
+
+    def _queue(self, batcher, group, *, enqueued_at, deadline_at=None):
+        ticket = Ticket(
+            group=group,
+            payload=0,
+            enqueued_at=enqueued_at,
+            deadline_at=deadline_at,
+        )
+        with batcher._cond:
+            batcher._queues.setdefault(group, []).append(ticket)
+            batcher._pending += 1
+        return ticket
+
+    def test_overdue_groups_dispatch_earliest_deadline_first(self):
+        now = [1000.0]
+        batcher = MicroBatcher(
+            _StubExecutor(),
+            BatchPolicy(max_batch_k=4, max_wait_ms=1.0),
+            clock=lambda: now[0],
+        )
+        try:
+            # All three overdue (the window is 1 ms); "lax" has waited
+            # by far the longest but carries no deadline, so both
+            # deadline-carrying groups outrank it — tightest first.
+            self._queue(batcher, "lax", enqueued_at=0.0)
+            self._queue(
+                batcher, "loose", enqueued_at=999.0, deadline_at=2000.0
+            )
+            self._queue(
+                batcher, "tight", enqueued_at=999.0, deadline_at=1005.0
+            )
+            order = []
+            with batcher._cond:
+                for _ in range(3):
+                    group, tickets, _full = batcher._take_batch_locked()
+                    order.append(group)
+                    assert len(tickets) == 1
+            assert order == ["tight", "loose", "lax"]
+            # Only the deadline-ranked picks count as SLO dispatches.
+            assert batcher._stats.slo_dispatches == 2
+        finally:
+            batcher.close(drain=False)
+
+    def test_no_deadline_groups_keep_longest_wait_order(self):
+        now = [1000.0]
+        batcher = MicroBatcher(
+            _StubExecutor(),
+            BatchPolicy(max_batch_k=4, max_wait_ms=1.0),
+            clock=lambda: now[0],
+        )
+        try:
+            self._queue(batcher, "young", enqueued_at=999.0)
+            self._queue(batcher, "old", enqueued_at=0.0)
+            order = []
+            with batcher._cond:
+                for _ in range(2):
+                    group, _tickets, _full = batcher._take_batch_locked()
+                    order.append(group)
+            assert order == ["old", "young"]
+            assert batcher._stats.slo_dispatches == 0
+            assert batcher.stats()["slo_dispatches"] == 0
+        finally:
+            batcher.close(drain=False)
+
+    def test_earliest_deadline_within_next_batch_ranks_the_group(self):
+        """The rank key reads only the tickets the next batch would
+        take (``queue[:k]``): a tight deadline buried beyond the batch
+        boundary must not jump its group ahead."""
+        now = [1000.0]
+        batcher = MicroBatcher(
+            _StubExecutor(),
+            BatchPolicy(max_batch_k=2, max_wait_ms=1.0),
+            clock=lambda: now[0],
+        )
+        try:
+            # Group "a": next batch (2 tickets) deadlines 1500, 1600;
+            # a much tighter 1001 sits third, outside the K=2 window.
+            self._queue(batcher, "a", enqueued_at=990.0, deadline_at=1500.0)
+            self._queue(batcher, "a", enqueued_at=991.0, deadline_at=1600.0)
+            self._queue(batcher, "a", enqueued_at=992.0, deadline_at=1001.0)
+            self._queue(batcher, "b", enqueued_at=995.0, deadline_at=1400.0)
+            with batcher._cond:
+                group, _tickets, _full = batcher._take_batch_locked()
+            assert group == "b"
+        finally:
+            batcher.close(drain=False)
+
+
 class TestServiceGovernance:
     def test_infeasible_deadline_refused_at_admission(self, registry):
         policy = BatchPolicy(max_batch_k=8, max_wait_ms=LONG_WAIT_MS)

@@ -417,3 +417,138 @@ class TestGovernanceCLI:
             assert service.default_deadline is None
         finally:
             service.close()
+
+
+@pytest.fixture()
+def metrics_server(sym):
+    from repro.obs import ServeTelemetry
+
+    registry = GraphRegistry()
+    registry.add_graph("g", sym)
+    service = GraphService(
+        registry,
+        policy=BatchPolicy(max_batch_k=8, max_wait_ms=5.0),
+        telemetry=ServeTelemetry(),
+    )
+    http_server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+    http_server.server_close()
+    service.close()
+
+
+def _get_raw(server, path, headers=None):
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(request) as reply:
+            return reply.status, dict(reply.headers), reply.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class TestObservabilityHTTP:
+    def test_metrics_endpoint_serves_prometheus_text(self, metrics_server):
+        status, _, document = _post_raw(
+            metrics_server, "/query/bfs", {"graph": "g", "root": 1}
+        )
+        assert status == 200
+        status, headers, body = _get_raw(metrics_server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        text = body.decode("utf-8")
+        assert '# TYPE repro_requests_total counter' in text
+        assert (
+            'repro_requests_total{graph="g", kind="bfs", status="ok"} 1'
+            in text
+        )
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+        assert "repro_batch_lanes_count 1" in text
+        assert "repro_cache_hit_rate" in text
+
+    def test_metrics_404_without_telemetry(self, server):
+        status, _, body = _get_raw(server, "/metrics")
+        assert status == 404
+        assert b"ServeTelemetry" in body
+
+    def test_request_id_header_echoed(self, metrics_server):
+        status, headers, document = _post_raw(
+            metrics_server, "/query/bfs", {"graph": "g", "root": 2},
+            headers={"X-Request-Id": "trace-me-42"},
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == "trace-me-42"
+        assert document["request_id"] == "trace-me-42"
+
+    def test_request_id_generated_when_absent(self, metrics_server):
+        status, headers, document = _post_raw(
+            metrics_server, "/query/bfs", {"graph": "g", "root": 3}
+        )
+        assert status == 200
+        assert len(headers["X-Request-Id"]) == 32
+        assert document["request_id"] == headers["X-Request-Id"]
+
+    def test_malformed_request_id_replaced(self, metrics_server):
+        status, headers, _ = _post_raw(
+            metrics_server, "/query/bfs", {"graph": "g", "root": 4},
+            headers={"X-Request-Id": "bad id; with spaces"},
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] != "bad id; with spaces"
+        assert len(headers["X-Request-Id"]) == 32
+
+    def test_error_payload_carries_request_id(self, metrics_server):
+        status, headers, document = _post_raw(
+            metrics_server, "/query/bfs", {"graph": "nope", "root": 0},
+            headers={"X-Request-Id": "err-trace-1"},
+        )
+        assert status == 404
+        assert document["request_id"] == "err-trace-1"
+        assert headers["X-Request-Id"] == "err-trace-1"
+
+    def test_quota_429_carries_request_id(self, quota_server):
+        # Burst 1 at 1 qps: the second immediate request is refused.
+        _post_raw(quota_server, "/query/bfs", {"graph": "g", "root": 1})
+        status, headers, document = _post_raw(
+            quota_server, "/query/bfs", {"graph": "g", "root": 2},
+            headers={"X-Request-Id": "quota-trace-1"},
+        )
+        assert status == 429
+        assert document["request_id"] == "quota-trace-1"
+        assert headers["X-Request-Id"] == "quota-trace-1"
+
+    def test_stats_uptime_and_started_at(self, metrics_server):
+        status, document = _get(metrics_server, "/stats")
+        assert status == 200
+        assert document["uptime_seconds"] >= 0.0
+        assert document["started_at"] > 1e9
+
+
+class TestObservabilityCLI:
+    def test_cli_always_builds_telemetry(self, tmp_path, sym):
+        path = tmp_path / "g.gmsnap"
+        save_snapshot(sym, path)
+        args = _build_parser().parse_args(["--graph", f"g={path}"])
+        service = build_service(args)
+        try:
+            assert service.telemetry is not None
+            assert service.telemetry.slow_log is None  # opt-in
+        finally:
+            service.close()
+
+    def test_slow_query_flag_arms_the_log(self, tmp_path, sym):
+        path = tmp_path / "g.gmsnap"
+        save_snapshot(sym, path)
+        args = _build_parser().parse_args(
+            ["--graph", f"g={path}", "--slow-query-ms", "250"]
+        )
+        service = build_service(args)
+        try:
+            assert service.telemetry.slow_log is not None
+            assert service.telemetry.slow_log.threshold_ms == 250.0
+        finally:
+            service.close()

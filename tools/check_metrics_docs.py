@@ -1,0 +1,59 @@
+"""Docs lint: every registered metric must appear in docs/OBSERVABILITY.md.
+
+The serving telemetry registers its full metric catalog at construction
+(no lazy, traffic-dependent families), precisely so this check can be
+total: instantiate :class:`repro.obs.serving.ServeTelemetry`, take every
+metric name in its registry, and fail if any is missing from the metric
+catalog in ``docs/OBSERVABILITY.md``.  A metric that operators cannot
+look up is a metric that will be misread during an incident.
+
+Run from the repo root (CI runs it in the lint job)::
+
+    PYTHONPATH=src python tools/check_metrics_docs.py
+
+Exits 0 when the docs cover the catalog, 1 listing every missing name
+otherwise, 2 on usage errors (missing docs file).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_PATH = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+
+
+def missing_metrics(doc_text: str) -> list[str]:
+    """Registered metric names absent from the documentation text."""
+    from repro.obs.serving import ServeTelemetry
+
+    telemetry = ServeTelemetry()
+    return [
+        name
+        for name in telemetry.registry.names()
+        if name not in doc_text
+    ]
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if not DOCS_PATH.exists():
+        print(f"error: {DOCS_PATH} not found", file=sys.stderr)
+        return 2
+    missing = missing_metrics(DOCS_PATH.read_text())
+    if missing:
+        print(
+            f"{len(missing)} registered metric(s) missing from "
+            f"{DOCS_PATH.relative_to(REPO_ROOT)}:"
+        )
+        for name in missing:
+            print(f"  {name}")
+        print("\nAdd each to the metric catalog (name, labels, meaning).")
+        return 1
+    print(f"metric catalog complete: {DOCS_PATH.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
