@@ -1,7 +1,8 @@
 """Loading-path benchmark: cold text parse vs snapshot mmap load.
 
 Emits ``BENCH_ingest.json`` (repo root by default) recording cold
-parse+build, streaming-ingest, and snapshot-mmap-load times plus the
+parse+build, streaming-ingest (single-process and at each worker count,
+with a byte-identity parity flag), and snapshot-mmap-load times plus the
 process-backend startup hand-off sizes on a Graph500 R-MAT graph.
 
 Run standalone::
@@ -19,7 +20,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.bench.ingest import bench_ingest, summarize_ingest, write_ingest_record
+from repro.bench.ingest import (
+    acceptance_check,
+    bench_ingest,
+    summarize_ingest,
+    write_ingest_record,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_ingest.json"
@@ -36,6 +42,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=2,
                         help="process-backend workers for the startup probe")
+    parser.add_argument("--worker-counts", type=int, nargs="+",
+                        default=(1, 2, 4),
+                        help="ingest worker counts for the parallel section")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     args = parser.parse_args(argv)
 
@@ -47,21 +56,26 @@ def main(argv: list[str] | None = None) -> int:
         chunk_edges=args.chunk_edges,
         repeats=args.repeats,
         n_workers=args.workers,
+        worker_counts=tuple(args.worker_counts),
     )
     path = write_ingest_record(record, args.out)
     print(summarize_ingest(record))
+    failures = acceptance_check(record)
+    for failure in failures:
+        print(f"ACCEPTANCE FAILURE: {failure}")
     print(f"\nwrote {path}")
-    return 0
+    return 1 if failures else 0
 
 
 def test_ingest_bench_smoke(tmp_path):
     """Small-scale smoke run asserting the machine-independent invariants:
     mmap load beats cold parse by >= 5x, snapshot-backed process hand-offs
-    ship references instead of arrays, and both paths compute identical
-    PageRank vectors."""
+    ship references instead of arrays, both paths compute identical
+    PageRank vectors, and every worker count produces the same snapshot
+    bytes and counters."""
     record = bench_ingest(
         scale=10, edge_factor=8, repeats=2, pr_iterations=2,
-        work_dir=tmp_path,
+        work_dir=tmp_path, worker_counts=(1, 2),
     )
     out = write_ingest_record(record, tmp_path / "BENCH_ingest.json")
     assert out.exists()
@@ -69,8 +83,14 @@ def test_ingest_bench_smoke(tmp_path):
     startup = record["process_startup"]
     assert startup["snapshot"]["ship_bytes"] < startup["in_memory"]["ship_bytes"]
     assert record["parity"]["max_abs_diff"] == 0.0
+    assert record["parity"]["pagerank_bitwise"] == 1.0
+    assert record["parity"]["parallel_bytes_identical"] == 1.0
+    assert record["parallel"]["counters_equal"] == 1.0
+    assert set(record["parallel"]["runs"]) == {"w1", "w2"}
     assert record["ingest"]["peak_partition_edges"] <= record["meta"]["n_edges"]
     assert record["meta"]["calibration_seconds"] > 0.0
+    # The multi-core speedup bar must not fire at smoke scale.
+    assert acceptance_check(record) == []
 
 
 if __name__ == "__main__":

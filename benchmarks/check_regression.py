@@ -63,6 +63,7 @@ CONFIG_KEYS = (
     "n_partitions",
     "n_lanes",
     "strategy",
+    "worker_counts",
     "per_kind",
     "n_clients",
     "delta_fraction",
@@ -139,6 +140,16 @@ RATIO_FLOORS = {
     "fairness.good_success_rate": 0.95,
     "fairness.flood_rejected_fraction": 0.05,
     "overhead.plain_vs_token": 0.75,
+    # Parallel-ingest gate: every worker count must write the identical
+    # snapshot bytes with identical aggregated counters, and the
+    # snapshot must compute bitwise-identical PageRank to the in-memory
+    # reader — hard floors.  The best-vs-single speedup floor only
+    # asserts parallelism is not counterproductive on a small CI runner
+    # (the >= 4x acceptance bar applies to full-scale multi-core
+    # records, asserted by repro.bench.ingest.acceptance_check).
+    "parallel.speedup_best_vs_single": 0.3,
+    "parallel.counters_equal": 1.0,
+    "parity.parallel_bytes_identical": 1.0,
     # Observability gate: the instrumented serving phase (metrics +
     # traces + profile hook live) must hold most of plain batched
     # throughput even on short CI smoke runs.  The 0.95 acceptance bar
@@ -186,9 +197,27 @@ def extract_metrics(record: dict) -> dict[str, tuple[float, str]]:
             value = _dig(record, name)
             if value is not None:
                 metrics[name] = (float(value), "time")
+        for key, run in (_dig(record, "parallel.runs") or {}).items():
+            metrics[f"parallel.runs.{key}.total_seconds"] = (
+                float(run["total_seconds"]),
+                "time",
+            )
         speedup = _dig(record, "speedup.snapshot_vs_cold")
         if speedup is not None:
             metrics["speedup.snapshot_vs_cold"] = (float(speedup), "ratio")
+        # Parallel-ingest invariants are floor-only (see RATIO_FLOORS):
+        # the identity flags are boolean-like hard floors, and the
+        # speedup is a ratio of short smoke timings whose component
+        # wall-times are already gated above.
+        for name in (
+            "parallel.speedup_best_vs_single",
+            "parallel.counters_equal",
+            "parity.parallel_bytes_identical",
+            "parity.pagerank_bitwise",
+        ):
+            value = _dig(record, name)
+            if value is not None:
+                metrics[name] = (float(value), "floor")
     elif benchmark == "bench_batch":
         for workload in ("bfs", "ppr"):
             for side in ("sequential", "batched"):

@@ -178,6 +178,23 @@ def _run_chunk_batch(task):
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every pool in the repo should use.
+
+    fork is the cheap path (workers inherit everything copy-on-write,
+    and stdin-driven parents survive — forkserver/spawn re-import
+    __main__, which hangs heredoc/REPL parents).  The usual
+    fork-with-threads caveat applies: create the process pool before
+    starting heavy threading, or close any threaded Workspace first
+    (idle ThreadPoolExecutor workers block in Condition.wait with the
+    lock released, so the common case of an idle threaded pool is safe
+    to fork past).  Shared by :class:`ProcessExecutor` and the parallel
+    ingest pipeline (:mod:`repro.store.ingest`).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
 class ProcessExecutor(Executor):
     """Run block kernels on a persistent ``multiprocessing.Pool``."""
 
@@ -218,18 +235,7 @@ class ProcessExecutor(Executor):
         if same:
             return
         self._shutdown_pool()
-        methods = multiprocessing.get_all_start_methods()
-        # fork is the cheap path (workers inherit everything copy-on-
-        # write, and stdin-driven parents survive — forkserver/spawn
-        # re-import __main__, which hangs heredoc/REPL parents).  The
-        # usual fork-with-threads caveat applies: create the process
-        # pool before starting heavy threading, or close any threaded
-        # Workspace first (idle ThreadPoolExecutor workers block in
-        # Condition.wait with the lock released, so the common case of
-        # an idle threaded pool is safe to fork past).
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
+        ctx = pool_context()
         self._pool = ctx.Pool(
             self.n_workers,
             initializer=_init_worker,

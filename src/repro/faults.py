@@ -62,6 +62,13 @@ CRASH_POINTS = (
     "compact.after_snapshot",    # snapshot durable, old log still intact
     # store/format.py — any snapshot write (tmp file complete, not renamed).
     "snapshot.before_rename",
+    # store/ingest.py — the three passes of the parallel converter.
+    # Fired in the *parent* as each worker result is consumed, so the
+    # ``raise`` action unwinds the pipeline mid-pass and the cleanup
+    # tests can assert no spill/shard temp files survive.
+    "ingest.parse.chunk",
+    "ingest.route.shard",
+    "ingest.finalize.block",
     # serve/scheduler.py — dying with admitted queries on the dispatcher.
     "serve.dispatch.before",
     # serve/scheduler.py — dying while failing already-expired tickets

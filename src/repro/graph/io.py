@@ -39,6 +39,24 @@ _VALID_SYMMETRY = {"general", "symmetric"}
 _GZIP_MAGIC = b"\x1f\x8b"
 
 
+def is_gzipped(path: str | Path) -> bool:
+    """Would :func:`open_text` route this path through gzip?
+
+    Same contract as the open itself: the ``.gz`` suffix decides first,
+    then the gzip magic bytes for regular files (probing a pipe/FIFO
+    would consume its bytes).  The streaming-ingest chunk splitter uses
+    this to decide whether byte-offset chunking is possible — a gzip
+    stream only decompresses sequentially.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return True
+    if path.is_file():
+        with path.open("rb") as probe:
+            return probe.read(2) == _GZIP_MAGIC
+    return False
+
+
 def open_text(path: str | Path) -> io.TextIOBase:
     """Open a possibly gzip-compressed text file for reading.
 
@@ -46,15 +64,38 @@ def open_text(path: str | Path) -> io.TextIOBase:
     gzip magic bytes so a compressed file with a plain name still reads.
     """
     path = Path(path)
-    if path.suffix == ".gz":
+    if is_gzipped(path):
         return gzip.open(path, "rt", encoding="utf-8")
-    # Magic-byte sniff only for regular files: probing a pipe/FIFO
-    # (e.g. /dev/stdin) would consume its bytes.
-    if path.is_file():
-        with path.open("rb") as probe:
-            if probe.read(2) == _GZIP_MAGIC:
-                return gzip.open(path, "rt", encoding="utf-8")
     return path.open("r", encoding="utf-8")
+
+
+def text_chunk_offsets(
+    path: str | Path, start: int, target_bytes: int
+) -> list[tuple[int, int]]:
+    """Newline-aligned ``(start, end)`` byte ranges covering ``[start, EOF)``.
+
+    The splitter behind parallel ingest of *plain* (non-gzip) files:
+    each range ends at the first newline at or after a ``target_bytes``
+    stride, so every range holds whole lines and the ranges depend only
+    on the file content and the stride — never on how many workers will
+    read them.  Gzip inputs cannot be random-accessed; callers must
+    check :func:`is_gzipped` first and fall back to streaming.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    target_bytes = max(1, int(target_bytes))
+    ranges: list[tuple[int, int]] = []
+    with path.open("rb") as handle:
+        pos = min(int(start), size)
+        while pos < size:
+            handle.seek(min(pos + target_bytes, size))
+            handle.readline()  # advance to the next line boundary (or EOF)
+            end = min(handle.tell(), size)
+            if end <= pos:  # a final unterminated line
+                end = size
+            ranges.append((pos, end))
+            pos = end
+    return ranges
 
 
 def read_mtx(path: str | Path) -> Graph:
@@ -64,16 +105,8 @@ def read_mtx(path: str | Path) -> Graph:
         return _read_mtx_stream(handle, str(path))
 
 
-def parse_mtx_header(
-    handle: io.TextIOBase, name: str
-) -> tuple[str, str, int, int]:
-    """Validate the MatrixMarket banner + size line.
-
-    Returns ``(field, symmetry, n_vertices, nnz)`` with the handle
-    positioned at the first entry line.  Shared by :func:`read_mtx` and
-    the streaming ingest pipeline so both enforce identical rules.
-    """
-    header = handle.readline()
+def _validate_mtx_banner(header: str, name: str) -> tuple[str, str]:
+    """Validate the ``%%MatrixMarket`` banner line; return (field, symmetry)."""
     if not header.startswith("%%MatrixMarket"):
         raise IOFormatError(f"{name}: missing %%MatrixMarket header")
     parts = header.strip().split()
@@ -87,15 +120,11 @@ def parse_mtx_header(
         raise IOFormatError(f"{name}: unsupported field {field!r}")
     if symmetry not in _VALID_SYMMETRY:
         raise IOFormatError(f"{name}: unsupported symmetry {symmetry!r}")
+    return field, symmetry
 
-    size_line = ""
-    for line in handle:
-        stripped = line.strip()
-        if stripped and not stripped.startswith("%"):
-            size_line = stripped
-            break
-    if not size_line:
-        raise IOFormatError(f"{name}: missing size line")
+
+def _parse_mtx_size(size_line: str, name: str) -> tuple[int, int]:
+    """Validate the size line; return (n_vertices, nnz)."""
     try:
         n_rows, n_cols, nnz = (int(tok) for tok in size_line.split())
     except ValueError as exc:
@@ -104,7 +133,58 @@ def parse_mtx_header(
         raise IOFormatError(
             f"{name}: graph matrices must be square, got {n_rows}x{n_cols}"
         )
+    return n_rows, nnz
+
+
+def parse_mtx_header(
+    handle: io.TextIOBase, name: str
+) -> tuple[str, str, int, int]:
+    """Validate the MatrixMarket banner + size line.
+
+    Returns ``(field, symmetry, n_vertices, nnz)`` with the handle
+    positioned at the first entry line.  Shared by :func:`read_mtx` and
+    the streaming ingest pipeline so both enforce identical rules.
+    """
+    field, symmetry = _validate_mtx_banner(handle.readline(), name)
+    size_line = ""
+    for line in handle:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            size_line = stripped
+            break
+    if not size_line:
+        raise IOFormatError(f"{name}: missing size line")
+    n_rows, nnz = _parse_mtx_size(size_line, name)
     return field, symmetry, n_rows, nnz
+
+
+def mtx_data_offset(path: str | Path) -> tuple[str, str, int, int, int]:
+    """Parse a plain (non-gzip) MatrixMarket header in binary mode.
+
+    Returns ``(field, symmetry, n_vertices, nnz, data_offset)`` where
+    ``data_offset`` is the byte position of the first line after the
+    size line — the anchor :func:`text_chunk_offsets` needs to split the
+    data section for parallel ingest (text-mode handles cannot ``tell``
+    mid-iteration).  Validation is shared with :func:`parse_mtx_header`
+    so both paths enforce identical rules.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        header = handle.readline().decode("utf-8", errors="replace")
+        field, symmetry = _validate_mtx_banner(header, str(path))
+        size_line = ""
+        while True:
+            line = handle.readline()
+            if not line:
+                break
+            stripped = line.decode("utf-8", errors="replace").strip()
+            if stripped and not stripped.startswith("%"):
+                size_line = stripped
+                break
+        if not size_line:
+            raise IOFormatError(f"{path}: missing size line")
+        n_vertices, nnz = _parse_mtx_size(size_line, str(path))
+        return field, symmetry, n_vertices, nnz, handle.tell()
 
 
 def _read_mtx_stream(handle: io.TextIOBase, name: str) -> Graph:

@@ -78,6 +78,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="embed per-block kernel caches (larger file, zero warm-up)",
     )
+    convert.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for the parse/route/finalize passes "
+        "(default: CPU count; output bytes do not depend on this)",
+    )
+    convert.add_argument(
+        "--temp-dir",
+        default=None,
+        help="directory for spill/shard scratch files "
+        "(default: system temp dir)",
+    )
 
     info = sub.add_parser("info", help="print a snapshot's manifest summary")
     info.add_argument("snapshot")
@@ -100,12 +113,14 @@ def _cmd_convert(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         chunk_edges=args.chunk_edges,
         include_caches=args.include_caches,
+        workers=args.workers,
+        temp_dir=args.temp_dir,
     )
     print(
         f"{report.source} -> {report.snapshot}\n"
         f"  {report.n_vertices} vertices, {report.n_edges} edges "
         f"({report.n_edges_raw} raw), {report.n_partitions} partitions "
-        f"({report.strategy})\n"
+        f"({report.strategy}), {report.workers} workers\n"
         f"  parse {report.parse_seconds:.2f}s + route "
         f"{report.route_seconds:.2f}s + finalize "
         f"{report.finalize_seconds:.2f}s; peak partition "

@@ -153,6 +153,55 @@ class SnapshotWriter:
         }
         return name
 
+    def add_raw(
+        self,
+        name: str,
+        *,
+        dtype,
+        shape,
+        chunks,
+        crc32: int | None = None,
+    ) -> str:
+        """Append one array from an iterable of raw byte chunks.
+
+        The section-reserving half of parallel ingest: workers finalize
+        disjoint DCSC blocks and hand back raw array bytes (as files or
+        buffers), and the parent copies them into the container here —
+        in a deterministic order, so the snapshot is byte-identical no
+        matter how many workers produced the pieces.  ``chunks`` yields
+        bytes-like objects; their total length must equal
+        ``prod(shape) * itemsize``.  Pass ``crc32`` when the producer
+        already computed it (workers checksum while writing) to skip the
+        recompute; otherwise it is computed during the copy.
+        """
+        if name in self._arrays or any(s.name == name for s in self._streams):
+            raise IOFormatError(f"duplicate array name {name!r}")
+        dtype = np.dtype(dtype)
+        if dtype == object:
+            raise IOFormatError(f"array {name!r}: object dtypes cannot be snapshot")
+        offset = _pad_to_alignment(self._handle)
+        written = 0
+        crc = 0
+        for piece in chunks:
+            view = memoryview(piece).cast("B")
+            if crc32 is None:
+                crc = zlib.crc32(view, crc)
+            self._handle.write(view)
+            written += view.nbytes
+        expected = int(np.prod(shape)) * dtype.itemsize if len(shape) else dtype.itemsize
+        if written != expected:
+            raise IOFormatError(
+                f"array {name!r}: raw chunks total {written} bytes, "
+                f"shape {tuple(shape)} of {dtype.str} needs {expected}"
+            )
+        self._arrays[name] = {
+            "offset": offset,
+            "shape": [int(s) for s in shape],
+            "dtype": dtype.str,
+            "crc32": (crc if crc32 is None else int(crc32)) & 0xFFFFFFFF,
+        }
+        return name
+
     def stream(self, name: str, dtype) -> ArrayStream:
         """Open a 1-D append-only array (finalized on :meth:`close`)."""
         if name in self._arrays or any(s.name == name for s in self._streams):

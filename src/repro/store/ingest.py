@@ -3,23 +3,36 @@
 ``read_edge_list``/``read_mtx`` materialize the whole edge list, then
 sort it, then partition it — peak memory is a multiple of the graph.
 This pipeline converts the same formats with peak memory bounded by
-**one partition plus one parse chunk**, in three passes:
+**one partition plus one parse chunk per worker**, in three passes that
+all fan out across a process pool (``workers``, default = CPU count):
 
-1. **Parse + spill** — the text file (gzip ok) is parsed in fixed-size
-   chunks; each chunk's ``(dst, src, val, seq)`` records are appended to
-   a binary spill file while per-destination degree counts accumulate
-   (``seq`` is the edge's position in the file, which is what makes the
-   "keep the last duplicate" policy reproducible per-partition).
+1. **Parse + spill** — the text is split into chunks (newline-aligned
+   byte ranges for plain files; sequentially-read blobs for gzip/pipes,
+   matching ``open_text`` semantics) and each chunk parses in a worker
+   into a binary spill segment of ``(dst, src, seq[, val])`` records.
+   Workers record chunk-local ``seq``; the route pass rewrites it to the
+   edge's global position in the file, which is what makes the "keep the
+   last duplicate" policy reproducible and worker-count independent.
 2. **Route** — partition row ranges are computed from the counts (the
    ``"rows"`` or ``"nnz"`` split of :mod:`repro.matrix.partition`), then
-   the spill is re-read in chunks and each record appended to its
-   partition's shard file.
-3. **Finalize** — one partition at a time: load the shard, resolve
+   contiguous partition groups are assigned to workers; each worker
+   re-reads every spill segment in chunk order and appends its group's
+   records to per-partition shard files.
+3. **Finalize** — one worker per partition: load the shard, resolve
    duplicates (keep last occurrence by ``seq``, matching
-   ``COOMatrix.deduplicated("last")``), compress to a DCSC block, write
-   the block's arrays to the snapshot, and stream the partition's edge
-   triples into the snapshot's COO section.  The shard is deleted before
-   the next partition loads.
+   ``COOMatrix.deduplicated("last")``), compress to a DCSC block, and
+   write the block's arrays — checksummed — to a scratch block file.
+   The parent copies block files into the snapshot in partition order
+   through :meth:`SnapshotWriter.add_raw`, then concatenates the
+   per-partition edge triples into the snapshot's COO section.
+
+Because the global ``seq`` equals the edge's file-order index and the
+finalize sort is total, the produced snapshot is **byte-identical for
+any worker count, chunk size, or gzip-vs-plain source** — parity tests
+compare the files with ``filecmp``.  All scratch files live in one
+``gm-ingest-*`` temp directory that is removed on success *and* on any
+failure (parse errors, worker crashes, injected faults), so a dying
+ingest never orphans multi-GB spill/shard trees.
 
 The produced snapshot holds the graph's edges plus its ``out`` view
 (``A^T`` partitioned by destination — the view OUT_EDGES programs like
@@ -30,15 +43,28 @@ the mmapped COO on first use.
 
 from __future__ import annotations
 
+import os
+import shutil
 import tempfile
 import time
+import zlib
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.errors import IOFormatError
-from repro.graph.io import open_text, parse_mtx_header
+from repro.exec.process import pool_context
+from repro.graph.io import (
+    is_gzipped,
+    mtx_data_offset,
+    open_text,
+    parse_mtx_header,
+    text_chunk_offsets,
+)
 from repro.matrix.coo import COOMatrix
 from repro.matrix.dcsc import DCSCMatrix
 from repro.matrix.partition import (
@@ -49,6 +75,14 @@ from repro.store.format import SnapshotWriter
 
 #: Edges parsed per text chunk (~24 MiB of spill records at the default).
 DEFAULT_CHUNK_EDGES = 1 << 20
+
+#: Bytes sampled from the head of the data section to estimate line size
+#: when translating ``chunk_edges`` into a byte/character stride.
+_SAMPLE_BYTES = 1 << 12
+#: The bytes-per-line estimate is clamped to this range.
+_LINE_BYTES_RANGE = (4, 4096)
+#: Copy granularity when draining scratch block files into the snapshot.
+_COPY_BYTES = 1 << 22
 
 
 @dataclass
@@ -63,6 +97,7 @@ class IngestReport:
     n_edges: int = 0
     n_partitions: int = 0
     strategy: str = "rows"
+    workers: int = 1
     chunks: int = 0
     peak_partition_edges: int = 0
     parse_seconds: float = 0.0
@@ -76,6 +111,12 @@ class IngestReport:
         return self.parse_seconds + self.route_seconds + self.finalize_seconds
 
 
+def _resolve_workers(workers: int | None) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
 def _spill_dtype(value_dtype: np.dtype | None) -> np.dtype:
     fields = [("dst", "<i8"), ("src", "<i8"), ("seq", "<i8")]
     if value_dtype is not None:
@@ -83,24 +124,59 @@ def _spill_dtype(value_dtype: np.dtype | None) -> np.dtype:
     return np.dtype(fields)
 
 
+@dataclass(frozen=True)
+class _PipelineConfig:
+    """Everything a worker needs for any pass — small and picklable."""
+
+    source: str
+    format: str  # "edgelist" | "mtx"
+    comment: str
+    weighted: bool
+    mtx_field: str | None
+    symmetry: str | None
+    declared_nnz: int
+    n_vertices: int | None  # declared; None = discover from the data
+    value_dtype: str | None
+    final_value_dtype: str
+    need_degrees: bool
+    include_caches: bool
+    work_dir: str
+
+    @property
+    def spill_record(self) -> np.dtype:
+        return _spill_dtype(
+            None if self.value_dtype is None else np.dtype(self.value_dtype)
+        )
+
+
+def _spill_path(cfg: _PipelineConfig, index: int) -> Path:
+    return Path(cfg.work_dir) / "spill" / f"chunk-{index:06d}.spill"
+
+
+def _degree_path(cfg: _PipelineConfig, index: int) -> Path:
+    return Path(cfg.work_dir) / "spill" / f"chunk-{index:06d}.deg.npy"
+
+
+def _shard_path(cfg: _PipelineConfig, p: int) -> Path:
+    return Path(cfg.work_dir) / "shard" / f"part-{p:04d}.shard"
+
+
+def _block_path(cfg: _PipelineConfig, p: int) -> Path:
+    return Path(cfg.work_dir) / "blocks" / f"block-{p:04d}.blk"
+
+
 class _DegreeCounter:
     """Growable per-vertex counter (vertex space unknown until EOF)."""
 
-    def __init__(self, initial: int = 1024) -> None:
-        self.counts = np.zeros(initial, dtype=np.int64)
-        self.max_vertex = -1
+    def __init__(self) -> None:
+        self.counts = np.zeros(0, dtype=np.int64)
 
-    def add(self, dst: np.ndarray, src: np.ndarray) -> None:
-        if dst.size == 0:
-            return
-        top = int(max(dst.max(), src.max()))
-        self.max_vertex = max(self.max_vertex, top)
-        if top >= self.counts.shape[0]:
-            grown = max(top + 1, 2 * self.counts.shape[0])
-            self.counts = np.concatenate(
-                [self.counts, np.zeros(grown - self.counts.shape[0], np.int64)]
-            )
-        np.add.at(self.counts, dst, 1)
+    def add_counts(self, counts: np.ndarray) -> None:
+        if counts.shape[0] > self.counts.shape[0]:
+            grown = np.zeros(counts.shape[0], dtype=np.int64)
+            grown[: self.counts.shape[0]] = self.counts
+            self.counts = grown
+        self.counts[: counts.shape[0]] += counts
 
 
 def _parse_edge_lines(
@@ -138,88 +214,6 @@ def _parse_edge_lines(
     return u, v, w
 
 
-def _iter_text_chunks(handle, comment: str, chunk_lines: int):
-    """Yield ``(first_line_no, lines)`` batches of non-comment lines."""
-    batch: list[str] = []
-    batch_start = 0
-    for line_no, line in enumerate(handle, start=1):
-        stripped = line.strip()
-        if not stripped or (comment and stripped.startswith(comment)):
-            continue
-        if not batch:
-            batch_start = line_no
-        batch.append(stripped)
-        if len(batch) >= chunk_lines:
-            yield batch_start, batch
-            batch = []
-    if batch:
-        yield batch_start, batch
-
-
-# ----------------------------------------------------------------------
-# Pass 1 front-ends: one per text format.  Each yields parsed chunk
-# tuples ``(dst, src, val|None, seq)`` in file order.
-# ----------------------------------------------------------------------
-def _edge_list_chunks(handle, name, *, weighted, comment, chunk_edges):
-    seq_base = 0
-    for first_line_no, lines in _iter_text_chunks(handle, comment, chunk_edges):
-        src, dst, val = _parse_edge_lines(
-            lines,
-            3 if weighted else 2,
-            exact=False,
-            parse_values=weighted,
-            name=name,
-            first_line_no=first_line_no,
-        )
-        seq = np.arange(seq_base, seq_base + src.shape[0], dtype=np.int64)
-        seq_base += src.shape[0]
-        yield dst, src, val, seq
-
-
-def _mtx_chunks(handle, name, *, field, symmetry, n_vertices, nnz, chunk_edges):
-    """MatrixMarket entries, 0-based, with symmetric mirrors emitted inline.
-
-    Mirror records get ``seq = nnz + original_index`` so keep-last
-    duplicate resolution matches :func:`repro.graph.io.read_mtx`, which
-    appends all mirrors after all stored entries.
-    """
-    parsed = 0
-    for first_line_no, lines in _iter_text_chunks(handle, "%", chunk_edges):
-        if parsed + len(lines) > nnz:
-            raise IOFormatError(f"{name}: more entries than declared nnz={nnz}")
-        u, v, w = _parse_edge_lines(
-            lines,
-            2 if field == "pattern" else 3,
-            exact=True,
-            parse_values=field != "pattern",
-            name=name,
-            first_line_no=first_line_no,
-        )
-        u -= 1
-        v -= 1
-        if u.size and (
-            min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n_vertices
-        ):
-            raise IOFormatError(
-                f"{name}: entry outside declared {n_vertices}-vertex range"
-            )
-        if w is None:
-            w = np.ones(u.shape[0], dtype=np.float64)
-        seq = np.arange(parsed, parsed + u.shape[0], dtype=np.int64)
-        parsed += u.shape[0]
-        # Graph edge u -> v: COO row (src) = u, col (dst) = v.
-        yield v, u, w, seq
-        if symmetry == "symmetric":
-            mirror = u != v
-            if mirror.any():
-                yield u[mirror], v[mirror], w[mirror], seq[mirror] + nnz
-    if parsed != nnz:
-        raise IOFormatError(f"{name}: declared nnz={nnz} but read {parsed} entries")
-
-
-# ----------------------------------------------------------------------
-# The three-pass pipeline
-# ----------------------------------------------------------------------
 def _check_vertex_bound(chunk_dst, chunk_src, n_vertices, name) -> None:
     if chunk_dst.size and (
         max(int(chunk_dst.max()), int(chunk_src.max())) >= n_vertices
@@ -230,160 +224,199 @@ def _check_vertex_bound(chunk_dst, chunk_src, n_vertices, name) -> None:
         )
 
 
-def _ingest_stream(
-    chunk_iter,
-    report: IngestReport,
-    out_path: Path,
-    *,
-    value_dtype: np.dtype | None,
-    final_value_dtype: np.dtype,
-    n_vertices: int | None,
-    n_partitions: int,
-    strategy: str,
-    include_caches: bool,
-    source_name: str,
-    chunk_edges: int = DEFAULT_CHUNK_EDGES,
-) -> IngestReport:
-    spill_record = _spill_dtype(value_dtype)
-    degree = _DegreeCounter()
-    raw_edges = 0
+# ----------------------------------------------------------------------
+# Chunk planning: one deterministic split of the text, independent of
+# worker count (the plan — not the pool — decides the output bytes).
+# ----------------------------------------------------------------------
+def _estimate_line_bytes(sample) -> int:
+    newline = b"\n" if isinstance(sample, bytes) else "\n"
+    average = len(sample) // max(1, sample.count(newline))
+    lo, hi = _LINE_BYTES_RANGE
+    return min(hi, max(lo, average))
 
-    # ---- Pass 1: parse text, spill binary records, count degrees -------
-    t0 = time.perf_counter()
-    with tempfile.TemporaryFile() as spill:
-        for dst, src, val, seq in chunk_iter:
-            if n_vertices is not None:
-                _check_vertex_bound(dst, src, n_vertices, source_name)
-            record = np.empty(dst.shape[0], dtype=spill_record)
-            record["dst"] = dst
-            record["src"] = src
-            record["seq"] = seq
-            if value_dtype is not None:
-                record["val"] = val
-            spill.write(memoryview(record).cast("B"))
-            degree.add(dst, src)
-            raw_edges += dst.shape[0]
-            report.chunks += 1
-        if n_vertices is None:
-            n_vertices = degree.max_vertex + 1
-        report.n_vertices = n_vertices
-        report.n_edges_raw = raw_edges
-        report.parse_seconds = time.perf_counter() - t0
 
-        # ---- Partition ranges over the destination (output-row) space --
-        n_partitions = max(1, min(int(n_partitions), max(1, n_vertices)))
-        if strategy == "rows":
-            ranges = row_ranges_equal_rows(n_vertices, n_partitions)
-        elif strategy == "nnz":
-            counts = np.zeros(n_vertices, dtype=np.int64)
-            limit = min(n_vertices, degree.counts.shape[0])
-            counts[:limit] = degree.counts[:limit]
-            ranges = row_ranges_equal_nnz(n_vertices, counts, n_partitions)
-        else:
-            raise IOFormatError(f"unknown partition strategy {strategy!r}")
-        report.n_partitions = n_partitions
-        report.strategy = strategy
+def _plan_offset_chunks(
+    source: Path, data_offset: int, chunk_edges: int
+) -> list[tuple[int, int]]:
+    """Byte-range chunks for a plain file, sized to ~``chunk_edges`` lines."""
+    with source.open("rb") as handle:
+        handle.seek(data_offset)
+        sample = handle.read(_SAMPLE_BYTES)
+    target = max(1, int(chunk_edges)) * _estimate_line_bytes(sample)
+    return text_chunk_offsets(source, data_offset, target)
 
-        # ---- Pass 2: route spill records into per-partition shards -----
-        t0 = time.perf_counter()
-        uppers = np.asarray([hi for (_, hi) in ranges], dtype=np.int64)
-        shard_files = [tempfile.TemporaryFile() for _ in ranges]
-        try:
-            spill.seek(0)
-            # The route pass honours the caller's chunk size too: the
-            # documented memory bound is one partition + one chunk.
-            chunk_bytes = max(1, int(chunk_edges)) * spill_record.itemsize
-            while True:
-                raw = spill.read(chunk_bytes)
-                if not raw:
-                    break
-                records = np.frombuffer(raw, dtype=spill_record)
-                part = np.searchsorted(uppers[:-1], records["dst"], side="right")
-                order = np.argsort(part, kind="stable")
-                sorted_records = records[order]
-                sorted_part = part[order]
-                boundaries = np.searchsorted(
-                    sorted_part, np.arange(len(ranges) + 1)
+
+def _stream_blobs(handle, chunk_edges: int):
+    """Line-aligned text blobs from a sequential (gzip/pipe) handle."""
+    sample = handle.read(_SAMPLE_BYTES)
+    if not sample:
+        return
+    target = max(1, int(chunk_edges)) * _estimate_line_bytes(sample)
+    blob = sample
+    if len(blob) < target:
+        blob += handle.read(target - len(blob))
+    blob += handle.readline()
+    yield blob
+    while True:
+        blob = handle.read(target)
+        if not blob:
+            return
+        blob += handle.readline()
+        yield blob
+
+
+# ----------------------------------------------------------------------
+# Worker-side pass bodies.  Each runs in a pool worker (or inline when
+# workers=1) and communicates through files under cfg.work_dir plus a
+# small result dict; ``_run_task`` is the picklable dispatch shim.
+# ----------------------------------------------------------------------
+def _parse_edgelist_chunk(cfg: _PipelineConfig, lines: list[str]):
+    u, v, w = _parse_edge_lines(
+        lines,
+        3 if cfg.weighted else 2,
+        exact=False,
+        parse_values=cfg.weighted,
+        name=cfg.source,
+        first_line_no=1,
+    )
+    src, dst = u, v
+    if cfg.n_vertices is not None:
+        _check_vertex_bound(dst, src, cfg.n_vertices, cfg.source)
+    elif dst.size:
+        low = min(int(dst.min()), int(src.min()))
+        if low < 0:
+            raise IOFormatError(
+                f"{cfg.source}: negative vertex id {low} "
+                "(vertex ids must be >= 0)"
+            )
+    seq = np.arange(dst.shape[0], dtype=np.int64)
+    return dst, src, w, seq, int(dst.shape[0])
+
+
+def _parse_mtx_chunk(cfg: _PipelineConfig, lines: list[str]):
+    """One chunk of MTX entries, 0-based, symmetric mirrors appended.
+
+    Mirror records carry a *negative* chunk-local seq; the route pass
+    decodes it to ``declared_nnz + global_index``, matching
+    :func:`repro.graph.io.read_mtx`, which appends all mirrors after all
+    stored entries before keep-last duplicate resolution.
+    """
+    u, v, w = _parse_edge_lines(
+        lines,
+        2 if cfg.mtx_field == "pattern" else 3,
+        exact=True,
+        parse_values=cfg.mtx_field != "pattern",
+        name=cfg.source,
+        first_line_no=1,
+    )
+    u -= 1
+    v -= 1
+    if u.size and (
+        min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= cfg.n_vertices
+    ):
+        raise IOFormatError(
+            f"{cfg.source}: entry outside declared {cfg.n_vertices}-vertex range"
+        )
+    if w is None:
+        w = np.ones(u.shape[0], dtype=np.float64)
+    entries = int(u.shape[0])
+    stored_seq = np.arange(entries, dtype=np.int64)
+    # Graph edge u -> v: COO row (src) = u, col (dst) = v.
+    dst, src, val, seq = v, u, w, stored_seq
+    if cfg.symmetry == "symmetric":
+        mirror = u != v
+        if mirror.any():
+            dst = np.concatenate([dst, u[mirror]])
+            src = np.concatenate([src, v[mirror]])
+            val = np.concatenate([val, w[mirror]])
+            seq = np.concatenate([seq, -(stored_seq[mirror] + 1)])
+    return dst, src, val, seq, entries
+
+
+def _parse_task(cfg: _PipelineConfig, index: int, span, blob):
+    """Pass 1: one text chunk -> one spill segment (+ degree counts)."""
+    if blob is None:
+        start, end = span
+        with open(cfg.source, "rb") as handle:
+            handle.seek(start)
+            blob = handle.read(end - start).decode("utf-8")
+    comment = "%" if cfg.format == "mtx" else cfg.comment
+    lines = []
+    for line in blob.splitlines():
+        stripped = line.strip()
+        if stripped and not (comment and stripped.startswith(comment)):
+            lines.append(stripped)
+    if cfg.format == "mtx":
+        dst, src, val, seq, entries = _parse_mtx_chunk(cfg, lines)
+    else:
+        dst, src, val, seq, entries = _parse_edgelist_chunk(cfg, lines)
+    record = np.empty(dst.shape[0], dtype=cfg.spill_record)
+    record["dst"] = dst
+    record["src"] = src
+    record["seq"] = seq
+    if cfg.value_dtype is not None:
+        record["val"] = val
+    record.tofile(_spill_path(cfg, index))
+    has_degrees = False
+    if cfg.need_degrees and dst.size:
+        np.save(_degree_path(cfg, index), np.bincount(dst).astype(np.int64))
+        has_degrees = True
+    max_vertex = int(max(dst.max(), src.max())) if dst.size else -1
+    return {
+        "chunk": index,
+        "entries": entries,
+        "records": int(dst.shape[0]),
+        "max_vertex": max_vertex,
+        "degrees": has_degrees,
+    }
+
+
+def _route_task(cfg: _PipelineConfig, parts, ranges, segments):
+    """Pass 2: fan every spill segment into this group's shard files.
+
+    ``parts`` is a contiguous run of partition indices owned exclusively
+    by this worker, so the shard files need no cross-process locking.
+    Segments are visited in chunk order and the within-segment sort is
+    stable, so each shard's record order — hence the final snapshot —
+    does not depend on how partitions were grouped across workers.
+    """
+    record_dtype = cfg.spill_record
+    uppers = np.asarray([hi for (_lo, hi) in ranges], dtype=np.int64)
+    lo_row, hi_row = int(ranges[0][0]), int(ranges[-1][1])
+    handles = [open(_shard_path(cfg, p), "wb") for p in parts]
+    counts = np.zeros(len(parts), dtype=np.int64)
+    try:
+        for index, base in segments:
+            records = np.fromfile(_spill_path(cfg, index), dtype=record_dtype)
+            if not records.size:
+                continue
+            # Rewrite chunk-local seq to the global file-order position;
+            # negative values are MTX mirrors of stored entry -(seq+1).
+            seq = records["seq"]
+            if cfg.format == "mtx":
+                records["seq"] = np.where(
+                    seq >= 0,
+                    base + seq,
+                    cfg.declared_nnz + base + (-seq - 1),
                 )
-                for p in range(len(ranges)):
-                    lo, hi = int(boundaries[p]), int(boundaries[p + 1])
-                    if hi > lo:
-                        shard_files[p].write(
-                            memoryview(sorted_records[lo:hi]).cast("B")
-                        )
-            report.route_seconds = time.perf_counter() - t0
-
-            # ---- Pass 3: finalize one partition at a time --------------
-            t0 = time.perf_counter()
-            shape = (n_vertices, n_vertices)
-            writer = SnapshotWriter(out_path)
-            with writer:
-                rows_stream = writer.stream("edges/rows", np.int64)
-                cols_stream = writer.stream("edges/cols", np.int64)
-                vals_stream = writer.stream("edges/vals", final_value_dtype)
-                blocks_doc = []
-                dedup_edges = 0
-                for p, row_range in enumerate(ranges):
-                    shard_files[p].seek(0)
-                    records = np.frombuffer(
-                        shard_files[p].read(), dtype=spill_record
-                    )
-                    shard_files[p].close()
-                    shard_files[p] = None
-                    report.peak_partition_edges = max(
-                        report.peak_partition_edges, records.shape[0]
-                    )
-                    block = _finalize_partition(
-                        records,
-                        shape,
-                        row_range,
-                        value_dtype,
-                        final_value_dtype,
-                    )
-                    dedup_edges += block.nnz
-                    # Graph edges of this partition, derivable from the
-                    # A^T block: src = expanded columns, dst = ir.
-                    rows_stream.append(block.col_expanded())
-                    cols_stream.append(block.ir)
-                    vals_stream.append(block.num)
-                    blocks_doc.append(
-                        _block_document(writer, p, block, include_caches)
-                    )
-                document = {
-                    "kind": "graph",
-                    "meta": {
-                        "source": source_name,
-                        "ingest": "streaming",
-                        "format": report.format,
-                    },
-                    "graph": {
-                        "n_vertices": n_vertices,
-                        "n_edges": dedup_edges,
-                    },
-                    "edges": {
-                        "rows": "edges/rows",
-                        "cols": "edges/cols",
-                        "vals": "edges/vals",
-                    },
-                    "views": [
-                        {
-                            "direction": "out",
-                            "n_partitions": n_partitions,
-                            "strategy": strategy,
-                            "shape": [n_vertices, n_vertices],
-                            "blocks": blocks_doc,
-                        }
-                    ],
-                }
-                writer.close(document)
-            report.n_edges = dedup_edges
-            report.finalize_seconds = time.perf_counter() - t0
-            report.snapshot_bytes = out_path.stat().st_size
-        finally:
-            for handle in shard_files:
-                if handle is not None:
-                    handle.close()
-    return report
+            else:
+                records["seq"] = base + seq
+            dst = records["dst"]
+            mask = (dst >= lo_row) & (dst < hi_row)
+            mine = records if mask.all() else records[mask]
+            part = np.searchsorted(uppers[:-1], mine["dst"], side="right")
+            order = np.argsort(part, kind="stable")
+            mine = mine[order]
+            bounds = np.searchsorted(part[order], np.arange(len(parts) + 1))
+            for k in range(len(parts)):
+                lo, hi = int(bounds[k]), int(bounds[k + 1])
+                if hi > lo:
+                    handles[k].write(memoryview(mine[lo:hi]).cast("B"))
+                counts[k] += hi - lo
+    finally:
+        for handle in handles:
+            handle.close()
+    return {"parts": list(parts), "counts": counts.tolist()}
 
 
 def _finalize_partition(
@@ -413,12 +446,331 @@ def _finalize_partition(
     return DCSCMatrix.from_coo(piece, row_range=row_range)
 
 
-def _block_document(
-    writer: SnapshotWriter, p: int, block: DCSCMatrix, include_caches: bool
-) -> dict:
-    from repro.store.snapshot import _write_block
+def _finalize_task(cfg: _PipelineConfig, p: int, row_range, n_vertices: int):
+    """Pass 3: shard -> DCSC block -> checksummed scratch block file."""
+    shard = _shard_path(cfg, p)
+    if shard.exists():
+        records = np.fromfile(shard, dtype=cfg.spill_record)
+        shard.unlink()
+    else:
+        records = np.empty(0, dtype=cfg.spill_record)
+    block = _finalize_partition(
+        records,
+        (n_vertices, n_vertices),
+        row_range,
+        None if cfg.value_dtype is None else np.dtype(cfg.value_dtype),
+        np.dtype(cfg.final_value_dtype),
+    )
+    arrays = [
+        ("jc", block.jc),
+        ("cp", block.cp),
+        ("ir", block.ir),
+        ("num", block.num),
+        # Always materialized: the snapshot's COO section concatenates
+        # col_expanded/ir/num across partitions as edges/rows|cols|vals.
+        ("col_expanded", block.col_expanded()),
+    ]
+    if cfg.include_caches:
+        block.warm_caches()
+        order, group_starts, unique_rows = block.dst_groups()
+        arrays += [
+            ("order", order),
+            ("group_starts", group_starts),
+            ("unique_rows", unique_rows),
+        ]
+    meta = []
+    offset = 0
+    with open(_block_path(cfg, p), "wb") as handle:
+        for key, array in arrays:
+            array = np.ascontiguousarray(array)
+            raw = memoryview(array).cast("B") if array.size else b""
+            handle.write(raw)
+            meta.append(
+                {
+                    "key": key,
+                    "offset": offset,
+                    "nbytes": array.nbytes,
+                    "dtype": array.dtype.str,
+                    "shape": [int(s) for s in array.shape],
+                    "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
+                }
+            )
+            offset += array.nbytes
+    return {
+        "p": p,
+        "records": int(records.shape[0]),
+        "nnz": int(block.nnz),
+        "row_range": [int(row_range[0]), int(row_range[1])],
+        "arrays": meta,
+    }
 
-    return _write_block(writer, f"views/0/blocks/{p}", block, include_caches)
+
+def _run_task(task):
+    """Module-level pool entry point (must be picklable by name)."""
+    kind = task[0]
+    if kind == "parse":
+        return _parse_task(*task[1:])
+    if kind == "route":
+        return _route_task(*task[1:])
+    return _finalize_task(*task[1:])
+
+
+def _run_tasks(pool, tasks, window: int):
+    """Yield task results in submission order, <= ``window`` in flight.
+
+    The windowing is what keeps stream-mode memory bounded: an eager
+    ``executor.map`` would consume the whole blob iterator up front.
+    With ``pool=None`` (workers=1) everything runs inline.
+    """
+    if pool is None:
+        for task in tasks:
+            yield _run_task(task)
+        return
+    pending: deque = deque()
+    for task in tasks:
+        pending.append(pool.submit(_run_task, task))
+        if len(pending) >= window:
+            yield pending.popleft().result()
+    while pending:
+        yield pending.popleft().result()
+
+
+def _file_chunks(path: Path, offset: int, nbytes: int):
+    """Yield one scratch-file section as bounded byte chunks."""
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        remaining = int(nbytes)
+        while remaining:
+            piece = handle.read(min(_COPY_BYTES, remaining))
+            if not piece:
+                raise IOFormatError(f"{path}: truncated block file")
+            remaining -= len(piece)
+            yield piece
+
+
+# ----------------------------------------------------------------------
+# The parent-side pipeline driver
+# ----------------------------------------------------------------------
+def _run_pipeline(
+    cfg: _PipelineConfig,
+    report: IngestReport,
+    out_path: Path,
+    chunk_plan,  # ("offset", data_offset) | ("stream", text_handle)
+    *,
+    n_partitions: int,
+    strategy: str,
+    chunk_edges: int,
+    workers: int,
+) -> IngestReport:
+    work_dir = Path(cfg.work_dir)
+    pool = None
+    try:
+        for sub in ("spill", "shard", "blocks"):
+            (work_dir / sub).mkdir(parents=True, exist_ok=True)
+        if workers > 1:
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=pool_context()
+            )
+        window = max(2, 2 * workers)
+
+        # ---- Pass 1: parse text chunks into spill segments -------------
+        t0 = time.perf_counter()
+        if chunk_plan[0] == "offset":
+            spans = _plan_offset_chunks(
+                Path(cfg.source), int(chunk_plan[1]), chunk_edges
+            )
+            tasks = (
+                ("parse", cfg, i, span, None) for i, span in enumerate(spans)
+            )
+            report.extra.setdefault("chunk_mode", "offset")
+        else:
+            tasks = (
+                ("parse", cfg, i, None, blob)
+                for i, blob in enumerate(_stream_blobs(chunk_plan[1], chunk_edges))
+            )
+            report.extra.setdefault("chunk_mode", "stream")
+        bases: list[int] = []
+        parsed_entries = 0
+        raw_edges = 0
+        max_vertex = -1
+        degree = _DegreeCounter()
+        for result in _run_tasks(pool, tasks, window):
+            faults.crash_point("ingest.parse.chunk")
+            bases.append(parsed_entries)
+            if (
+                cfg.format == "mtx"
+                and parsed_entries + result["entries"] > cfg.declared_nnz
+            ):
+                raise IOFormatError(
+                    f"{cfg.source}: more entries than declared "
+                    f"nnz={cfg.declared_nnz}"
+                )
+            parsed_entries += result["entries"]
+            raw_edges += result["records"]
+            max_vertex = max(max_vertex, result["max_vertex"])
+            report.chunks += 1
+            if result["degrees"]:
+                degree_path = _degree_path(cfg, result["chunk"])
+                degree.add_counts(np.load(degree_path))
+                degree_path.unlink()
+        if cfg.format == "mtx" and parsed_entries != cfg.declared_nnz:
+            raise IOFormatError(
+                f"{cfg.source}: declared nnz={cfg.declared_nnz} "
+                f"but read {parsed_entries} entries"
+            )
+        n_vertices = (
+            cfg.n_vertices if cfg.n_vertices is not None else max_vertex + 1
+        )
+        report.n_vertices = n_vertices
+        report.n_edges_raw = raw_edges
+        report.parse_seconds = time.perf_counter() - t0
+
+        # ---- Partition ranges over the destination (output-row) space --
+        n_partitions = max(1, min(int(n_partitions), max(1, n_vertices)))
+        if strategy == "rows":
+            ranges = row_ranges_equal_rows(n_vertices, n_partitions)
+        elif strategy == "nnz":
+            counts = np.zeros(n_vertices, dtype=np.int64)
+            limit = min(n_vertices, degree.counts.shape[0])
+            counts[:limit] = degree.counts[:limit]
+            ranges = row_ranges_equal_nnz(n_vertices, counts, n_partitions)
+        else:
+            raise IOFormatError(f"unknown partition strategy {strategy!r}")
+        report.n_partitions = n_partitions
+        report.strategy = strategy
+
+        # ---- Pass 2: route spill records into per-partition shards -----
+        t0 = time.perf_counter()
+        segments = [(i, bases[i]) for i in range(report.chunks)]
+        n_route = max(1, min(workers, n_partitions))
+        groups = np.array_split(np.arange(n_partitions), n_route)
+        route_tasks = (
+            (
+                "route",
+                cfg,
+                [int(p) for p in group],
+                [ranges[int(p)] for p in group],
+                segments,
+            )
+            for group in groups
+            if group.size
+        )
+        for _result in _run_tasks(pool, route_tasks, window):
+            faults.crash_point("ingest.route.shard")
+        for i in range(report.chunks):
+            _spill_path(cfg, i).unlink(missing_ok=True)
+        report.route_seconds = time.perf_counter() - t0
+
+        # ---- Pass 3: finalize partitions, assemble the snapshot --------
+        t0 = time.perf_counter()
+        finalize_tasks = (
+            ("finalize", cfg, p, ranges[p], n_vertices)
+            for p in range(n_partitions)
+        )
+        dedup_edges = 0
+        with SnapshotWriter(out_path) as writer:
+            blocks_doc = []
+            block_meta: list[tuple[Path, dict]] = []
+            for result in _run_tasks(pool, finalize_tasks, window):
+                faults.crash_point("ingest.finalize.block")
+                p = result["p"]
+                report.peak_partition_edges = max(
+                    report.peak_partition_edges, result["records"]
+                )
+                dedup_edges += result["nnz"]
+                path = _block_path(cfg, p)
+                meta = {entry["key"]: entry for entry in result["arrays"]}
+                prefix = f"views/0/blocks/{p}"
+                entry = {"row_range": result["row_range"]}
+                for key in ("jc", "cp", "ir", "num"):
+                    a = meta[key]
+                    entry[key] = writer.add_raw(
+                        f"{prefix}/{key}",
+                        dtype=a["dtype"],
+                        shape=a["shape"],
+                        chunks=_file_chunks(path, a["offset"], a["nbytes"]),
+                        crc32=a["crc32"],
+                    )
+                if cfg.include_caches:
+                    caches = {}
+                    for key in (
+                        "col_expanded",
+                        "order",
+                        "group_starts",
+                        "unique_rows",
+                    ):
+                        a = meta[key]
+                        caches[key] = writer.add_raw(
+                            f"{prefix}/cache/{key}",
+                            dtype=a["dtype"],
+                            shape=a["shape"],
+                            chunks=_file_chunks(path, a["offset"], a["nbytes"]),
+                            crc32=a["crc32"],
+                        )
+                    entry["caches"] = caches
+                blocks_doc.append(entry)
+                block_meta.append((path, meta))
+
+            def edge_chunks(key):
+                for path, meta in block_meta:
+                    a = meta[key]
+                    yield from _file_chunks(path, a["offset"], a["nbytes"])
+
+            # Graph edges, derivable from the A^T blocks: src = expanded
+            # columns, dst = ir, in partition order.
+            writer.add_raw(
+                "edges/rows",
+                dtype=np.int64,
+                shape=[dedup_edges],
+                chunks=edge_chunks("col_expanded"),
+            )
+            writer.add_raw(
+                "edges/cols",
+                dtype=np.int64,
+                shape=[dedup_edges],
+                chunks=edge_chunks("ir"),
+            )
+            writer.add_raw(
+                "edges/vals",
+                dtype=np.dtype(cfg.final_value_dtype),
+                shape=[dedup_edges],
+                chunks=edge_chunks("num"),
+            )
+            document = {
+                "kind": "graph",
+                "meta": {
+                    "source": cfg.source,
+                    "ingest": "streaming",
+                    "format": report.format,
+                },
+                "graph": {
+                    "n_vertices": n_vertices,
+                    "n_edges": dedup_edges,
+                },
+                "edges": {
+                    "rows": "edges/rows",
+                    "cols": "edges/cols",
+                    "vals": "edges/vals",
+                },
+                "views": [
+                    {
+                        "direction": "out",
+                        "n_partitions": n_partitions,
+                        "strategy": strategy,
+                        "shape": [n_vertices, n_vertices],
+                        "blocks": blocks_doc,
+                    }
+                ],
+            }
+            writer.close(document)
+        report.n_edges = dedup_edges
+        report.finalize_seconds = time.perf_counter() - t0
+        report.snapshot_bytes = out_path.stat().st_size
+        return report
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        shutil.rmtree(work_dir, ignore_errors=True)
 
 
 # ----------------------------------------------------------------------
@@ -435,34 +787,61 @@ def ingest_edge_list(
     strategy: str = "rows",
     chunk_edges: int = DEFAULT_CHUNK_EDGES,
     include_caches: bool = False,
+    workers: int | None = None,
+    temp_dir: str | Path | None = None,
 ) -> IngestReport:
-    """Stream a (possibly gzipped) edge list into a snapshot."""
+    """Stream a (possibly gzipped) edge list into a snapshot.
+
+    ``workers`` fans all three passes across a process pool (default:
+    CPU count); the snapshot bytes do not depend on it.  Scratch spill
+    and shard files live under a fresh directory in ``temp_dir``
+    (default: the system temp dir) and are removed even on failure.
+    """
     source, snapshot = Path(source), Path(snapshot)
+    workers = _resolve_workers(workers)
+    chunk_edges = max(1, int(chunk_edges))
     report = IngestReport(
-        source=str(source), snapshot=str(snapshot), format="edgelist"
+        source=str(source),
+        snapshot=str(snapshot),
+        format="edgelist",
+        workers=workers,
     )
-    with open_text(source) as handle:
-        return _ingest_stream(
-            _edge_list_chunks(
-                handle,
-                str(source),
-                weighted=weighted,
-                comment=comment,
-                chunk_edges=max(1, int(chunk_edges)),
-            ),
-            report,
-            snapshot,
-            value_dtype=np.dtype(np.float64) if weighted else None,
-            final_value_dtype=(
-                np.dtype(np.float64) if weighted else np.dtype(np.int64)
-            ),
-            n_vertices=n_vertices,
-            n_partitions=n_partitions,
-            strategy=strategy,
-            include_caches=include_caches,
-            source_name=str(source),
-            chunk_edges=chunk_edges,
-        )
+    cfg = _PipelineConfig(
+        source=str(source),
+        format="edgelist",
+        comment=comment,
+        weighted=weighted,
+        mtx_field=None,
+        symmetry=None,
+        declared_nnz=0,
+        n_vertices=n_vertices,
+        value_dtype=np.dtype(np.float64).str if weighted else None,
+        final_value_dtype=(
+            np.dtype(np.float64) if weighted else np.dtype(np.int64)
+        ).str,
+        need_degrees=strategy == "nnz",
+        include_caches=include_caches,
+        work_dir=tempfile.mkdtemp(prefix="gm-ingest-", dir=temp_dir),
+    )
+    run = dict(
+        n_partitions=n_partitions,
+        strategy=strategy,
+        chunk_edges=chunk_edges,
+        workers=workers,
+    )
+    try:
+        if source.is_file() and not is_gzipped(source):
+            return _run_pipeline(cfg, report, snapshot, ("offset", 0), **run)
+        with open_text(source) as handle:
+            return _run_pipeline(
+                cfg, report, snapshot, ("stream", handle), **run
+            )
+    except BaseException:
+        # _run_pipeline removes the scratch dir itself; this catches
+        # failures before it starts (an unopenable source), which would
+        # otherwise orphan the freshly made empty directory.
+        shutil.rmtree(cfg.work_dir, ignore_errors=True)
+        raise
 
 
 def ingest_mtx(
@@ -473,39 +852,57 @@ def ingest_mtx(
     strategy: str = "rows",
     chunk_edges: int = DEFAULT_CHUNK_EDGES,
     include_caches: bool = False,
+    workers: int | None = None,
+    temp_dir: str | Path | None = None,
 ) -> IngestReport:
     """Stream a (possibly gzipped) MatrixMarket file into a snapshot."""
     source, snapshot = Path(source), Path(snapshot)
-    report = IngestReport(source=str(source), snapshot=str(snapshot), format="mtx")
-    with open_text(source) as handle:
-        mtx_field, symmetry, n, nnz = parse_mtx_header(handle, str(source))
-        final_dtype = (
-            np.dtype(np.int64) if mtx_field == "integer" else np.dtype(np.float64)
-        )
+    workers = _resolve_workers(workers)
+    chunk_edges = max(1, int(chunk_edges))
+    report = IngestReport(
+        source=str(source), snapshot=str(snapshot), format="mtx", workers=workers
+    )
+    run = dict(
+        n_partitions=n_partitions,
+        strategy=strategy,
+        chunk_edges=chunk_edges,
+        workers=workers,
+    )
+
+    def config(mtx_field, symmetry, n, nnz):
         report.extra = {"field": mtx_field, "symmetry": symmetry}
-        return _ingest_stream(
-            _mtx_chunks(
-                handle,
-                str(source),
-                field=mtx_field,
-                symmetry=symmetry,
-                n_vertices=n,
-                nnz=nnz,
-                chunk_edges=max(1, int(chunk_edges)),
-            ),
-            report,
-            snapshot,
+        return _PipelineConfig(
+            source=str(source),
+            format="mtx",
+            comment="%",
+            weighted=False,
+            mtx_field=mtx_field,
+            symmetry=symmetry,
+            declared_nnz=nnz,
+            n_vertices=n,
             # Values parse as float64 (read_mtx semantics) and convert to
             # int64 at finalize for integer fields.
-            value_dtype=np.dtype(np.float64),
-            final_value_dtype=final_dtype,
-            n_vertices=n,
-            n_partitions=n_partitions,
-            strategy=strategy,
+            value_dtype=np.dtype(np.float64).str,
+            final_value_dtype=(
+                np.dtype(np.int64)
+                if mtx_field == "integer"
+                else np.dtype(np.float64)
+            ).str,
+            need_degrees=strategy == "nnz",
             include_caches=include_caches,
-            source_name=str(source),
-            chunk_edges=chunk_edges,
+            work_dir=tempfile.mkdtemp(prefix="gm-ingest-", dir=temp_dir),
         )
+
+    if source.is_file() and not is_gzipped(source):
+        mtx_field, symmetry, n, nnz, data_offset = mtx_data_offset(source)
+        cfg = config(mtx_field, symmetry, n, nnz)
+        return _run_pipeline(
+            cfg, report, snapshot, ("offset", data_offset), **run
+        )
+    with open_text(source) as handle:
+        mtx_field, symmetry, n, nnz = parse_mtx_header(handle, str(source))
+        cfg = config(mtx_field, symmetry, n, nnz)
+        return _run_pipeline(cfg, report, snapshot, ("stream", handle), **run)
 
 
 def sniff_format(path: str | Path) -> str:
